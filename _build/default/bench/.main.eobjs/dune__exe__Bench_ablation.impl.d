@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Array Bench_util Deltastore Fbchunk Fbhash Fbtree Fbtypes Fbutil Forkbase List Printf String Workload

@@ -1,0 +1,1 @@
+bench/bench_blockchain.ml: Array Bench_util Blockchain Fbchunk Fbtree Fbtypes Fbutil Float Forkbase List Lsm Merkle Printf Workload

@@ -1,0 +1,1 @@
+bench/bench_cluster.ml: Array Bench_util Fbchunk Fbcluster Fbutil Forkbase Hashtbl Int64 List Printf String Workload

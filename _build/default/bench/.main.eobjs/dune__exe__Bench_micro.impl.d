@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Bench_util Fbchunk Fbhash Fbtree Fbtypes Filename Forkbase List Printf String Sys Workload

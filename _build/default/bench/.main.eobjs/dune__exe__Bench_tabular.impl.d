@@ -1,0 +1,1 @@
+bench/bench_tabular.ml: Array Bench_util Fbchunk Fbutil Forkbase List Option Orpheus Printf Tabular Workload

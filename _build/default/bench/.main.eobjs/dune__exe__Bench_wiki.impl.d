@@ -1,0 +1,1 @@
+bench/bench_wiki.ml: Array Bench_util Fbchunk Fbutil Int64 List Printf Redislike String Wiki Workload

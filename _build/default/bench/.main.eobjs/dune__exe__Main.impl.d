@@ -1,0 +1,1 @@
+bench/main.ml: Arg Bench_ablation Bench_blockchain Bench_cluster Bench_micro Bench_tabular Bench_util Bench_wiki Cmd Cmdliner Format List Printf String Term

@@ -1,0 +1,186 @@
+(* Ablations of the POS-Tree design choices called out in §4.3:
+   - content-defined vs fixed-size chunking (the boundary-shifting problem),
+   - the rolling-hash family used for pattern P,
+   - expected chunk size (storage overhead vs update cost),
+   - content-based chunking vs delta chains (§2.1's two dedup families). *)
+
+module Store = Fbchunk.Chunk_store
+module Fblob = Fbtypes.Fblob
+
+let doc_size scale = Bench_util.pick scale (256 * 1024) (4 * 1024 * 1024)
+
+(* Fixed-size chunking expressed in the same chunker: suppress the pattern
+   entirely (min = max), so every node is cut at exactly the target size. *)
+let fixed_cfg bits =
+  let target = 1 lsl bits in
+  {
+    (Fbtree.Tree_config.with_leaf_bits bits) with
+    Fbtree.Tree_config.min_leaf_bytes = target;
+    max_leaf_bytes = target;
+  }
+
+(* Ablation A: insert a few bytes near the front of a large blob.  With
+   content-defined boundaries only the neighbourhood is rewritten; with
+   fixed-size nodes every boundary after the insertion shifts (§4.3,
+   boundary-shifting problem). *)
+let ablation_fixed scale =
+  Bench_util.section "Ablation: content-defined vs fixed-size chunking";
+  let content = Workload.Text_edit.initial_page ~seed:3L ~size:(doc_size scale) in
+  Bench_util.row_header
+    [ "chunking"; "op"; "new-chunks"; "new-bytes"; "latency(ms)" ];
+  List.iter
+    (fun (label, cfg) ->
+      let store = Store.mem_store () in
+      let blob = Fblob.create store cfg content in
+      List.iter
+        (fun (op, pos, ins) ->
+          let before = store.Store.stats () in
+          let chunks0 = before.Store.chunks and bytes0 = before.Store.bytes in
+          let elapsed, _ =
+            Bench_util.time_it (fun () -> Fblob.insert blob ~pos ins)
+          in
+          let after = store.Store.stats () in
+          Bench_util.row
+            [
+              label; op;
+              string_of_int (after.Store.chunks - chunks0);
+              Bench_util.human_bytes (after.Store.bytes - bytes0);
+              Bench_util.ms elapsed;
+            ])
+        [
+          ("insert@front", 64, "INSERTED-BYTES");
+          ("insert@middle", String.length content / 2, "INSERTED-BYTES");
+        ])
+    [
+      ("pos-tree", Fbtree.Tree_config.default);
+      ("fixed-4K", fixed_cfg 12);
+    ]
+
+(* Ablation B: the rolling-hash family for pattern P (§4.3.2 lists cyclic
+   polynomial, Rabin-Karp and moving sum).  Build cost, chunk-size spread,
+   and dedup quality after edits. *)
+let ablation_rolling scale =
+  Bench_util.section "Ablation: rolling hash family for pattern P";
+  let content = Workload.Text_edit.initial_page ~seed:5L ~size:(doc_size scale) in
+  let rng = Fbutil.Splitmix.create 6L in
+  let edits =
+    List.init 20 (fun _ ->
+        Workload.Text_edit.random_edit rng ~page_len:(String.length content)
+          ~update_ratio:0.5 ~edit_size:100)
+  in
+  Bench_util.row_header
+    [ "family"; "build(ms)"; "chunks"; "avg-chunk"; "20-edit growth" ];
+  List.iter
+    (fun (label, kind) ->
+      let cfg = { Fbtree.Tree_config.default with Fbtree.Tree_config.rolling = kind } in
+      let store = Store.mem_store () in
+      let build_ms, blob =
+        Bench_util.time_it (fun () -> Fblob.create store cfg content)
+      in
+      let base_bytes = (store.Store.stats ()).Store.bytes in
+      List.iter
+        (fun edit ->
+          ignore
+            (match edit with
+            | Workload.Text_edit.Overwrite (pos, text) ->
+                Fblob.overwrite blob ~pos text
+            | Workload.Text_edit.Insert (pos, text) -> Fblob.insert blob ~pos text))
+        edits;
+      let growth = (store.Store.stats ()).Store.bytes - base_bytes in
+      Bench_util.row
+        [
+          label;
+          Bench_util.ms build_ms;
+          string_of_int (Fblob.chunk_count blob);
+          Bench_util.human_bytes (String.length content / max 1 (Fblob.chunk_count blob));
+          Bench_util.human_bytes growth;
+        ])
+    [
+      ("cyclic-poly", Fbhash.Rolling.Cyclic_poly);
+      ("rabin-karp", Fbhash.Rolling.Rabin_karp);
+      ("moving-sum", Fbhash.Rolling.Moving_sum);
+    ]
+
+(* Ablation C: expected chunk size (2^q).  Small chunks dedup better and
+   localize updates; large chunks reduce index depth and metadata. *)
+let ablation_chunk_size scale =
+  Bench_util.section "Ablation: expected chunk size (leaf_bits sweep)";
+  let content = Workload.Text_edit.initial_page ~seed:9L ~size:(doc_size scale) in
+  Bench_util.row_header
+    [ "leaf-bits"; "chunks"; "height"; "storage"; "edit-growth"; "edit(ms)" ];
+  List.iter
+    (fun bits ->
+      let cfg = Fbtree.Tree_config.with_leaf_bits bits in
+      let store = Store.mem_store () in
+      let blob = Fblob.create store cfg content in
+      let base = (store.Store.stats ()).Store.bytes in
+      let elapsed, _ =
+        Bench_util.time_it (fun () ->
+            Fblob.overwrite blob ~pos:(String.length content / 3) "EDITEDEDITED")
+      in
+      let growth = (store.Store.stats ()).Store.bytes - base in
+      Bench_util.row
+        [
+          string_of_int bits;
+          string_of_int (Fblob.chunk_count blob);
+          string_of_int (Fblob.height blob);
+          Bench_util.human_bytes base;
+          Bench_util.human_bytes growth;
+          Bench_util.ms elapsed;
+        ])
+    [ 9; 10; 11; 12; 13; 14 ]
+
+(* Ablation D: content-based chunking vs delta chains (§2.1).  Deltas win
+   on storage when edits are tiny; the POS-Tree wins on random-version
+   access because deltas must replay chains. *)
+let ablation_delta scale =
+  Bench_util.section "Ablation: POS-Tree dedup vs delta chains";
+  let versions = Bench_util.pick scale 64 256 in
+  let page = Workload.Text_edit.initial_page ~seed:11L ~size:(15 * 1024) in
+  let rng = Fbutil.Splitmix.create 12L in
+  (* Build the same version history in both systems. *)
+  let store = Store.mem_store () in
+  let db = Forkbase.Db.create store in
+  let delta = Deltastore.Delta_store.create ~snapshot_every:32 () in
+  let content = ref page in
+  let all_versions = ref [] in
+  for _ = 1 to versions do
+    let edit =
+      Workload.Text_edit.random_edit rng ~page_len:(String.length !content)
+        ~update_ratio:0.9 ~edit_size:120
+    in
+    content := Workload.Text_edit.apply !content edit;
+    let uid = Forkbase.Db.put db ~key:"doc" (Forkbase.Db.blob db !content) in
+    all_versions := uid :: !all_versions;
+    ignore (Deltastore.Delta_store.commit delta ~key:"doc" !content)
+  done;
+  let uid_array = Array.of_list (List.rev !all_versions) in
+  Printf.printf "storage for %d versions: pos-tree %s, delta chains %s\n%!"
+    versions
+    (Bench_util.human_bytes (store.Store.stats ()).Store.bytes)
+    (Bench_util.human_bytes (Deltastore.Delta_store.storage_bytes delta));
+  (* Random version access cost. *)
+  let reads = 200 in
+  let rng = Fbutil.Splitmix.create 13L in
+  let pos_time, () =
+    Bench_util.time_it (fun () ->
+        for _ = 1 to reads do
+          let v = Fbutil.Splitmix.int rng versions in
+          match Forkbase.Db.get_version db uid_array.(v) with
+          | Ok (Fbtypes.Value.Blob b) -> ignore (Fbtypes.Fblob.to_string b)
+          | _ -> failwith "bad version"
+        done)
+  in
+  let delta_time, () =
+    Bench_util.time_it (fun () ->
+        for _ = 1 to reads do
+          let v = Fbutil.Splitmix.int rng versions in
+          ignore (Deltastore.Delta_store.get delta ~key:"doc" ~version:v)
+        done)
+  in
+  Printf.printf
+    "random version reads (%d): pos-tree %.2f ms/read, delta %.2f ms/read (%d replays)\n%!"
+    reads
+    (pos_time /. float_of_int reads *. 1000.0)
+    (delta_time /. float_of_int reads *. 1000.0)
+    (Deltastore.Delta_store.replay_steps delta)

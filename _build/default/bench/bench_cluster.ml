@@ -1,0 +1,103 @@
+(* Figure 8 (scalability with multiple servlets) and Figure 15 (storage
+   distribution under skew). *)
+
+module Db = Forkbase.Db
+module Store = Fbchunk.Chunk_store
+
+(* Figure 8: near-linear scaling.  Per-request service times are measured
+   on the real single-servlet code path, then fed to the discrete-event
+   cluster simulator (see DESIGN.md §1.3 for the substitution argument). *)
+let fig8 scale =
+  Bench_util.section "Figure 8: Scalability with multiple servlets";
+  let requests_per_node = Bench_util.pick scale 20_000 100_000 in
+  let sizes = [ 256; 2_560 ] in
+  let measure_service size =
+    let db = Db.create (Store.mem_store ()) in
+    let content = Workload.Text_edit.initial_page ~seed:5L ~size in
+    let n = ref 0 in
+    let put_ns =
+      Bench_util.time_avg ~runs:2000 (fun () ->
+          incr n;
+          Db.put db ~key:(Printf.sprintf "k%d" (!n mod 1024)) (Db.blob db content))
+    in
+    let get_ns =
+      Bench_util.time_avg ~runs:2000 (fun () ->
+          incr n;
+          Db.get db ~key:(Printf.sprintf "k%d" (!n mod 1024)))
+    in
+    (get_ns, put_ns)
+  in
+  Bench_util.row_header [ "#nodes"; "op"; "size"; "throughput(Kops/s)" ];
+  List.iter
+    (fun size ->
+      let get_s, put_s = measure_service size in
+      List.iter
+        (fun (op, service) ->
+          List.iter
+            (fun nodes ->
+              let r =
+                Fbcluster.Event_sim.run
+                  {
+                    Fbcluster.Event_sim.servlets = nodes;
+                    (* the paper's 32 load clients saturate a servlet;
+                       keep offered load proportional to cluster size *)
+                    clients = 32 * nodes;
+                    requests = requests_per_node * nodes / 4;
+                    service_time = (fun () -> service);
+                    network_delay = 0.0001;
+                    route =
+                      (fun i ->
+                        Fbcluster.Partition.servlet_of_key ~servlets:nodes
+                          (Printf.sprintf "key-%d" i));
+                  }
+              in
+              Bench_util.row
+                [
+                  string_of_int nodes;
+                  op;
+                  string_of_int size;
+                  Printf.sprintf "%.1f" (r.Fbcluster.Event_sim.throughput /. 1000.0);
+                ])
+            [ 1; 2; 4; 8; 12; 16 ])
+        [ ("Get", get_s); ("Put", put_s) ])
+    sizes
+
+(* Figure 15: storage distribution across 16 nodes under a zipf(0.5)
+   workload, one-layer vs two-layer partitioning. *)
+let fig15 scale =
+  Bench_util.section "Figure 15: Storage distribution in skewed workloads (zipf 0.5)";
+  let nodes = 16 in
+  let pages = Bench_util.pick scale 400 3_200 in
+  let requests = Bench_util.pick scale 3_000 120_000 in
+  let run mode label =
+    let cluster = Fbcluster.Cluster.create ~n:nodes mode in
+    let rng = Fbutil.Splitmix.create 41L in
+    let zipf = Workload.Zipf.create ~n:pages ~theta:0.5 in
+    let contents = Hashtbl.create pages in
+    for _ = 1 to requests do
+      let p = Workload.Zipf.sample zipf rng in
+      let page = Printf.sprintf "page%05d" p in
+      let current =
+        match Hashtbl.find_opt contents p with
+        | Some c -> c
+        | None -> Workload.Text_edit.initial_page ~seed:(Int64.of_int p) ~size:(15 * 1024)
+      in
+      let edit =
+        Workload.Text_edit.random_edit rng ~page_len:(String.length current)
+          ~update_ratio:0.9 ~edit_size:200
+      in
+      let next = Workload.Text_edit.apply current edit in
+      Hashtbl.replace contents p next;
+      let db = Fbcluster.Cluster.db_for_key cluster page in
+      ignore (Db.put db ~key:page (Db.blob db next))
+    done;
+    let dist = Fbcluster.Cluster.storage_distribution cluster in
+    Bench_util.subsection label;
+    Bench_util.row_header [ "node"; "bytes" ];
+    Array.iteri
+      (fun i b -> Bench_util.row [ string_of_int i; Bench_util.human_bytes b ])
+      dist;
+    Printf.printf "imbalance (max/mean): %.2f\n%!" (Fbcluster.Cluster.imbalance cluster)
+  in
+  run Fbcluster.Cluster.One_layer "ForkBase_1LP (page content stored locally)";
+  run Fbcluster.Cluster.Two_layer "ForkBase_2LP (chunks partitioned by cid)"

@@ -1,0 +1,152 @@
+(* Table 3 (operation throughput/latency) and Table 4 (Put cost
+   breakdown). *)
+
+module Db = Forkbase.Db
+module Store = Fbchunk.Chunk_store
+module Cid = Fbchunk.Cid
+module Value = Fbtypes.Value
+
+let payload seed size = Workload.Text_edit.initial_page ~seed ~size
+
+(* Table 3: 9 ForkBase operations at two request sizes.  Latencies come
+   from Bechamel OLS estimates on the real embedded-storage code path;
+   throughput is the single-executor-thread rate (the paper's servlets are
+   configured with one execution thread, §6). *)
+let table3 _scale =
+  Bench_util.section "Table 3: Performance of ForkBase Operations";
+  let sizes = [ ("1KB", 1024); ("20KB", 20 * 1024) ] in
+  let results =
+    List.map
+      (fun (label, size) ->
+        let db = Db.create (Store.mem_store ()) in
+        let content = payload 1L size in
+        let counter = ref 0 in
+        let fresh_key prefix =
+          incr counter;
+          Printf.sprintf "%s-%d" prefix !counter
+        in
+        (* Pre-populate objects used by Get/Track/Fork. *)
+        let (_ : Cid.t) = Db.put db ~key:"get-str" (Db.str content) in
+        let (_ : Cid.t) = Db.put db ~key:"get-blob" (Db.blob db content) in
+        let map_kvs =
+          List.init (max 1 (size / 128)) (fun i ->
+              (Printf.sprintf "field%05d" i, String.make 100 'v'))
+        in
+        let (_ : Cid.t) = Db.put db ~key:"get-map" (Db.map db map_kvs) in
+        for i = 0 to 9 do
+          let (_ : Cid.t) =
+            Db.put db ~key:"tracked" (Db.str (content ^ string_of_int i))
+          in
+          ()
+        done;
+        let ops =
+          [
+            ("Put-String", fun () -> ignore (Db.put db ~key:(fresh_key "ps") (Db.str content)));
+            ("Put-Blob", fun () -> ignore (Db.put db ~key:(fresh_key "pb") (Db.blob db content)));
+            ("Put-Map", fun () -> ignore (Db.put db ~key:(fresh_key "pm") (Db.map db map_kvs)));
+            ("Get-String", fun () -> ignore (Db.get db ~key:"get-str"));
+            ( "Get-Blob-Meta",
+              fun () ->
+                (* returns only the handler; data fetched on demand *)
+                ignore (Db.get db ~key:"get-blob") );
+            ( "Get-Blob-Full",
+              fun () ->
+                match Db.get db ~key:"get-blob" with
+                | Ok (Value.Blob b) -> ignore (Fbtypes.Fblob.to_string b)
+                | _ -> assert false );
+            ( "Get-Map-Full",
+              fun () ->
+                match Db.get db ~key:"get-map" with
+                | Ok (Value.Map m) -> ignore (Fbtypes.Fmap.bindings m)
+                | _ -> assert false );
+            ( "Track",
+              fun () -> ignore (Db.track db ~key:"tracked" ~dist_range:(0, 5)) );
+            ( "Fork",
+              fun () ->
+                ignore
+                  (Db.fork db ~key:"get-str" ~from_branch:"master"
+                     ~new_branch:(fresh_key "branch")) );
+          ]
+        in
+        (label, Bench_util.bechamel_ns ops))
+      sizes
+  in
+  Bench_util.row_header
+    [ "op"; "tput-1KB(Kops/s)"; "tput-20KB(Kops/s)"; "lat-1KB(ms)"; "lat-20KB(ms)" ];
+  List.iter
+    (fun op ->
+      let find label = List.assoc op (List.assoc label results) in
+      let ns1 = find "1KB" and ns20 = find "20KB" in
+      Bench_util.row
+        [
+          op;
+          Printf.sprintf "%.1f" (1e6 /. ns1);
+          Printf.sprintf "%.1f" (1e6 /. ns20);
+          Printf.sprintf "%.4f" (ns1 /. 1e6);
+          Printf.sprintf "%.4f" (ns20 /. 1e6);
+        ])
+    [
+      "Put-String"; "Put-Blob"; "Put-Map"; "Get-String"; "Get-Blob-Meta";
+      "Get-Blob-Full"; "Get-Map-Full"; "Track"; "Fork";
+    ]
+
+(* Table 4: cost breakdown of a Put, excluding network. *)
+let table4 _scale =
+  Bench_util.section "Table 4: Breakdown of Put Operation (us)";
+  let cfg = Fbtree.Tree_config.default in
+  let components (label, size) =
+    let content = payload 2L size in
+    let store = Store.mem_store () in
+    let blob = Fbtypes.Fblob.create store cfg content in
+    let obj =
+      Forkbase.Fobject.of_value ~key:"k" ~bases:[] (Value.Blob blob)
+    in
+    let meta_chunk = Forkbase.Fobject.to_chunk obj in
+    let encoded = Fbchunk.Chunk.encode meta_chunk in
+    let str_obj = Forkbase.Fobject.of_value ~key:"k" ~bases:[] (Value.Prim (Fbtypes.Prim.Str content)) in
+    let str_encoded = Fbchunk.Chunk.encode (Forkbase.Fobject.to_chunk str_obj) in
+    let log_path = Filename.temp_file "fbbench" ".log" in
+    let log = Fbchunk.Log_store.open_ log_path in
+    let log_store = Fbchunk.Log_store.store log in
+    let roll = Fbhash.Rolling.Cyclic.create ~window:cfg.Fbtree.Tree_config.window in
+    let salt = ref 0 in
+    let tests =
+      [
+        ( "Serialization",
+          fun () -> ignore (Fbchunk.Chunk.encode meta_chunk) );
+        ( "Deserialization",
+          fun () ->
+            ignore (Forkbase.Fobject.of_chunk (Fbchunk.Chunk.decode str_encoded)) );
+        ("CryptoHash", fun () -> ignore (Fbhash.Sha256.digest content));
+        ( "RollingHash",
+          fun () -> String.iter (Fbhash.Rolling.Cyclic.roll roll) content );
+        ( "Persistence",
+          fun () ->
+            (* distinct chunks so dedup does not skip the append *)
+            incr salt;
+            let chunk =
+              Fbchunk.Chunk.v Fbchunk.Chunk.Blob (string_of_int !salt ^ content)
+            in
+            ignore (log_store.Store.put chunk) );
+      ]
+    in
+    let res = Bench_util.bechamel_ns tests in
+    Fbchunk.Log_store.close log;
+    Sys.remove log_path;
+    ignore encoded;
+    (label, res)
+  in
+  let results = List.map components [ ("1KB", 1024); ("20KB", 20 * 1024) ] in
+  Bench_util.row_header [ "component"; "1KB(us)"; "20KB(us)" ];
+  List.iter
+    (fun comp ->
+      let find label = List.assoc comp (List.assoc label results) in
+      Bench_util.row
+        [
+          comp;
+          Printf.sprintf "%.2f" (find "1KB" /. 1000.0);
+          Printf.sprintf "%.2f" (find "20KB" /. 1000.0);
+        ])
+    [ "Serialization"; "Deserialization"; "CryptoHash"; "RollingHash"; "Persistence" ];
+  Printf.printf
+    "(RollingHash applies only to chunkable types; String puts skip it.)\n%!"

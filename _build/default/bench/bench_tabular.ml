@@ -1,0 +1,134 @@
+(* Figures 16-17: collaborative analytics vs OrpheusDB (§6.4). *)
+
+module Db = Forkbase.Db
+module Store = Fbchunk.Chunk_store
+module Dataset = Workload.Dataset
+module Row = Tabular.Table_row
+module Col = Tabular.Table_col
+
+let dataset_size scale = Bench_util.pick scale 100_000 5_000_000
+
+(* Figure 16: modify 1-5% of the records (a contiguous range, as a SQL
+   range-UPDATE produces); report latency and space increment. *)
+let fig16 scale =
+  Bench_util.section "Figure 16: Performance of dataset modifications";
+  let n = dataset_size scale in
+  let records = Dataset.generate ~seed:71L ~n in
+  let db = Db.create (Store.mem_store ()) in
+  Printf.printf "dataset: %d records\n%!" n;
+  let (_ : Fbchunk.Cid.t) = Row.import db ~name:"ds" records in
+  let o = Orpheus.create () in
+  let base_version = Orpheus.import o records in
+  Printf.printf "initial space: ForkBase %s, OrpheusDB %s\n%!"
+    (Bench_util.human_bytes ((Db.store db).Store.stats ()).Store.bytes)
+    (Bench_util.human_bytes (Orpheus.storage_bytes o));
+  Bench_util.row_header
+    [ "updated(%)"; "system"; "latency(ms)"; "space-increment" ];
+  let rng = Fbutil.Splitmix.create 72L in
+  let parent = ref base_version in
+  List.iter
+    (fun pct ->
+      let count = n * pct / 100 in
+      let start = Fbutil.Splitmix.int rng (n - count) in
+      let updated =
+        List.init count (fun i -> Dataset.mutate rng records.(start + i))
+      in
+      (* ForkBase: the handle defers fetching; commit writes only changed
+         chunks. *)
+      let fb_before = ((Db.store db).Store.stats ()).Store.bytes in
+      let fb_time, _ =
+        Bench_util.time_it (fun () -> Row.update db ~name:"ds" updated)
+      in
+      let fb_inc = ((Db.store db).Store.stats ()).Store.bytes - fb_before in
+      Bench_util.row
+        [
+          string_of_int pct; "ForkBase"; Bench_util.ms fb_time;
+          Bench_util.human_bytes fb_inc;
+        ];
+      (* OrpheusDB: checkout materializes the working copy, commit writes
+         new records plus a whole rid vector. *)
+      let o_before = Orpheus.storage_bytes o in
+      let o_time, new_version =
+        Bench_util.time_it (fun () ->
+            let working = Orpheus.checkout o !parent in
+            List.iteri (fun i r -> working.(start + i) <- r) updated;
+            Orpheus.commit o ~parent:!parent working)
+      in
+      parent := new_version;
+      let o_inc = Orpheus.storage_bytes o - o_before in
+      Bench_util.row
+        [
+          string_of_int pct; "OrpheusDB"; Bench_util.ms o_time;
+          Bench_util.human_bytes o_inc;
+        ])
+    [ 1; 2; 3; 4; 5 ]
+
+(* Figure 17a: cost of comparing two dataset versions with a varying
+   degree of difference. *)
+let fig17a scale =
+  Bench_util.section "Figure 17a: Version diff cost";
+  let n = Bench_util.pick scale 100_000 5_000_000 in
+  let records = Dataset.generate ~seed:73L ~n in
+  let db = Db.create (Store.mem_store ()) in
+  let v0 = Row.import db ~name:"ds" records in
+  let o = Orpheus.create () in
+  let ov0 = Orpheus.import o records in
+  let rng = Fbutil.Splitmix.create 74L in
+  Bench_util.row_header [ "difference(%)"; "system"; "latency(ms)"; "#diffs" ];
+  List.iter
+    (fun pct ->
+      let count = n * pct / 100 in
+      let start = if count >= n then 0 else Fbutil.Splitmix.int rng (n - count) in
+      let updated = List.init count (fun i -> Dataset.mutate rng records.(start + i)) in
+      (* reset the head to v0 so each round diffs exactly pct%. *)
+      (match Db.restore_branch db ~key:"ds" ~branch:"master" v0 with
+      | Ok () -> ()
+      | Error e -> failwith (Db.error_to_string e));
+      let t0 = Option.get (Row.load_version db v0) in
+      let v1 = Row.update db ~name:"ds" updated in
+      let t1 = Option.get (Row.load_version db v1) in
+      let fb_time, fb_diffs =
+        Bench_util.time_it (fun () -> Row.diff_count t0 t1)
+      in
+      Bench_util.row
+        [ string_of_int pct; "ForkBase"; Bench_util.ms fb_time; string_of_int fb_diffs ];
+      let working = Orpheus.checkout o ov0 in
+      List.iteri (fun i r -> working.(start + i) <- r) updated;
+      let ov1 = Orpheus.commit o ~parent:ov0 working in
+      let o_time, o_diffs =
+        Bench_util.time_it (fun () -> Orpheus.diff_versions o ov0 ov1)
+      in
+      Bench_util.row
+        [ string_of_int pct; "OrpheusDB"; Bench_util.ms o_time; string_of_int o_diffs ])
+    [ 0; 1; 2; 4; 8 ]
+
+(* Figure 17b: aggregation over an integer column, row vs column layout vs
+   OrpheusDB. *)
+let fig17b scale =
+  Bench_util.section "Figure 17b: Aggregation queries (sum of qty)";
+  let sizes =
+    Bench_util.pick scale
+      [ 25_000; 50_000; 100_000; 200_000 ]
+      [ 1_000_000; 2_000_000; 4_000_000; 8_000_000 ]
+  in
+  Bench_util.row_header [ "#records"; "system"; "latency(ms)"; "sum" ];
+  List.iter
+    (fun n ->
+      let records = Dataset.generate ~seed:75L ~n in
+      let db = Db.create (Store.mem_store ()) in
+      let (_ : Fbchunk.Cid.t) = Row.import db ~name:"r" records in
+      let (_ : Fbchunk.Cid.t) = Col.import db ~name:"c" records in
+      let o = Orpheus.create () in
+      let ov = Orpheus.import o records in
+      let row_table = Option.get (Row.load db ~name:"r") in
+      let col_table = Option.get (Col.load db ~name:"c") in
+      let t_col, s_col = Bench_util.time_it (fun () -> Col.sum_qty col_table) in
+      let t_row, s_row = Bench_util.time_it (fun () -> Row.sum_qty row_table) in
+      let t_o, s_o = Bench_util.time_it (fun () -> Orpheus.sum_qty o ov) in
+      Bench_util.row
+        [ string_of_int n; "ForkBase-COL"; Bench_util.ms t_col; string_of_int s_col ];
+      Bench_util.row
+        [ string_of_int n; "ForkBase-ROW"; Bench_util.ms t_row; string_of_int s_row ];
+      Bench_util.row
+        [ string_of_int n; "OrpheusDB"; Bench_util.ms t_o; string_of_int s_o ])
+    sizes

@@ -1,0 +1,150 @@
+(* Figures 13-14: the wiki engine evaluation (§6.3). *)
+
+let page_size = 15 * 1024
+
+let ratios = [ ("100U", 1.0); ("90U", 0.9); ("80U", 0.8) ]
+
+(* Figure 13: edit throughput and storage consumption, ForkBase vs Redis,
+   with varying in-place-update ratios. *)
+let fig13 scale =
+  Bench_util.section "Figure 13: Performance of editing wiki pages";
+  let pages = Bench_util.pick scale 256 3_200 in
+  let requests = Bench_util.pick scale 6_000 120_000 in
+  let checkpoint = max 1 (requests / 6) in
+  Bench_util.row_header
+    [ "system"; "ratio"; "#requests"; "throughput(req/s)"; "storage" ];
+  List.iter
+    (fun (ratio_name, ratio) ->
+      let engines =
+        [
+          Wiki.forkbase_engine (Fbchunk.Chunk_store.mem_store ());
+          Wiki.redis_engine (Redislike.Redis.create ());
+        ]
+      in
+      List.iter
+        (fun e ->
+          let rng = Fbutil.Splitmix.create 31L in
+          (* page contents tracked client-side so both systems receive the
+             same byte streams *)
+          let contents =
+            Array.init pages (fun i ->
+                Workload.Text_edit.initial_page ~seed:(Int64.of_int i) ~size:page_size)
+          in
+          Array.iteri
+            (fun i content ->
+              e.Wiki.save ~page:(Printf.sprintf "page%05d" i) ~content)
+            contents;
+          (* Throughput model: measured compute plus network transfer at
+             1 Gb/s.  Downloads are the bytes the client actually pulled
+             (after its chunk cache, for ForkBase); uploads are the bytes
+             the server had to store (a ForkBase client sends only chunks
+             the server lacks; Redis uploads the full new version). *)
+          let net_seconds_per_byte = 8.0 /. 1e9 in
+          let is_forkbase = String.equal e.Wiki.name "ForkBase" in
+          let down0 = e.Wiki.net_read_bytes () in
+          let up0 = if is_forkbase then e.Wiki.storage_bytes () else 0 in
+          let uploaded_redis = ref 0 in
+          let t0 = Bench_util.now () in
+          for req = 1 to requests do
+            let p = Fbutil.Splitmix.int rng pages in
+            let page = Printf.sprintf "page%05d" p in
+            (* load, edit, upload (§6.3) *)
+            let current =
+              match e.Wiki.read_latest ~page with
+              | Some c -> c
+              | None -> contents.(p)
+            in
+            let edit =
+              Workload.Text_edit.random_edit rng ~page_len:(String.length current)
+                ~update_ratio:ratio ~edit_size:200
+            in
+            let next = Workload.Text_edit.apply current edit in
+            contents.(p) <- next;
+            if not is_forkbase then
+              uploaded_redis := !uploaded_redis + String.length next;
+            e.Wiki.save ~page ~content:next;
+            if req mod checkpoint = 0 && req = requests then ()
+          done;
+          let compute = Bench_util.now () -. t0 in
+          let downloaded = e.Wiki.net_read_bytes () - down0 in
+          let uploaded =
+            if is_forkbase then e.Wiki.storage_bytes () - up0 else !uploaded_redis
+          in
+          let total =
+            compute +. (float_of_int (downloaded + uploaded) *. net_seconds_per_byte)
+          in
+          Bench_util.row
+            [
+              e.Wiki.name;
+              ratio_name;
+              string_of_int requests;
+              Printf.sprintf "%.0f" (float_of_int requests /. total);
+              Bench_util.human_bytes (e.Wiki.storage_bytes ());
+            ])
+        engines)
+    ratios
+
+(* Figure 14: throughput of reading consecutive versions of a page.  The
+   client-side chunk cache makes older versions cheap for ForkBase, while
+   Redis transfers a full copy per version.  Throughput is modelled as
+   compute time + transferred bytes over a 1 Gb/s link. *)
+let fig14 scale =
+  Bench_util.section "Figure 14: Read consecutive versions of a wiki page";
+  let pages = Bench_util.pick scale 64 512 in
+  let versions = 8 in
+  let reads = Bench_util.pick scale 400 4_000 in
+  let net_seconds_per_byte = 8.0 /. 1e9 in
+  let server = Wiki.forkbase_server (Fbchunk.Chunk_store.mem_store ()) in
+  let fb_writer = Wiki.forkbase_client server in
+  let redis = Wiki.redis_engine (Redislike.Redis.create ()) in
+  (* build 8 versions of each page on both systems *)
+  let rng = Fbutil.Splitmix.create 17L in
+  for p = 0 to pages - 1 do
+    let page = Printf.sprintf "page%04d" p in
+    let content =
+      ref (Workload.Text_edit.initial_page ~seed:(Int64.of_int p) ~size:page_size)
+    in
+    for _ = 1 to versions do
+      let edit =
+        Workload.Text_edit.random_edit rng ~page_len:(String.length !content)
+          ~update_ratio:0.9 ~edit_size:200
+      in
+      content := Workload.Text_edit.apply !content edit;
+      fb_writer.Wiki.save ~page ~content:!content;
+      redis.Wiki.save ~page ~content:!content
+    done
+  done;
+  Bench_util.row_header [ "#versions-tracked"; "system"; "throughput(reads/s)" ];
+  let explorations = reads in
+  List.iter
+    (fun track ->
+      let run mk_engine =
+        let rng = Fbutil.Splitmix.create 23L in
+        let compute = ref 0.0 and transferred = ref 0 in
+        for _ = 1 to explorations do
+          (* One exploration: a fresh client (cold chunk cache) tracks the
+             latest [track] versions of one page.  ForkBase transfers the
+             full page once and then only deltas for older versions; Redis
+             transfers a full copy per version. *)
+          let e : Wiki.engine = mk_engine () in
+          let page = Printf.sprintf "page%04d" (Fbutil.Splitmix.int rng pages) in
+          let bytes0 = e.Wiki.net_read_bytes () in
+          let t0 = Bench_util.now () in
+          for back = 0 to track - 1 do
+            ignore (e.Wiki.read_back ~page ~back)
+          done;
+          compute := !compute +. (Bench_util.now () -. t0);
+          transferred := !transferred + (e.Wiki.net_read_bytes () - bytes0)
+        done;
+        let total = !compute +. (float_of_int !transferred *. net_seconds_per_byte) in
+        float_of_int (explorations * track) /. total
+      in
+      Bench_util.row
+        [
+          string_of_int track;
+          "ForkBase";
+          Printf.sprintf "%.0f" (run (fun () -> Wiki.forkbase_client server));
+        ];
+      Bench_util.row
+        [ string_of_int track; "Redis"; Printf.sprintf "%.0f" (run (fun () -> redis)) ])
+    [ 1; 2; 3; 4; 5; 6 ]

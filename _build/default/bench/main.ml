@@ -1,0 +1,86 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (§6).  `main.exe` with no arguments runs everything at the
+   small scale; `main.exe fig12 table3` runs a subset; `--scale paper`
+   raises sizes to the paper's (slow). *)
+
+let experiments : (string * string * (Bench_util.scale -> unit)) list =
+  [
+    ("table3", "operation throughput/latency", Bench_micro.table3);
+    ("table4", "Put cost breakdown", Bench_micro.table4);
+    ("fig8", "scalability with #servlets", Bench_cluster.fig8);
+    ("fig9", "blockchain op latencies", Bench_blockchain.fig9);
+    ("fig10", "blockchain throughput", Bench_blockchain.fig10);
+    ("fig11", "Merkle-tree commit CDF", Bench_blockchain.fig11);
+    ("fig12", "state/block scans", Bench_blockchain.fig12);
+    ("fig13", "wiki edit throughput/storage", Bench_wiki.fig13);
+    ("fig14", "wiki consecutive-version reads", Bench_wiki.fig14);
+    ("fig15", "storage distribution under skew", Bench_cluster.fig15);
+    ("fig16", "dataset modification", Bench_tabular.fig16);
+    ("fig17a", "version diff", Bench_tabular.fig17a);
+    ("fig17b", "aggregation queries", Bench_tabular.fig17b);
+    ("smallbank", "SmallBank contract across backends", Bench_blockchain.smallbank);
+    ("ablation-fixed", "content-defined vs fixed-size chunking", Bench_ablation.ablation_fixed);
+    ("ablation-rolling", "rolling-hash families", Bench_ablation.ablation_rolling);
+    ("ablation-size", "chunk-size sweep", Bench_ablation.ablation_chunk_size);
+    ("ablation-delta", "POS-Tree vs delta chains", Bench_ablation.ablation_delta);
+  ]
+
+let run_ids scale ids =
+  let selected =
+    match ids with
+    | [] -> experiments
+    | ids ->
+        List.map
+          (fun id ->
+            match List.find_opt (fun (name, _, _) -> name = id) experiments with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment %S (available: %s)\n" id
+                  (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
+                exit 2)
+          ids
+  in
+  Printf.printf "ForkBase reproduction benchmarks — scale=%s\n%!"
+    (Bench_util.scale_name scale);
+  let total, () =
+    Bench_util.time_it (fun () ->
+        List.iter
+          (fun (name, _, fn) ->
+            let elapsed, () = Bench_util.time_it (fun () -> fn scale) in
+            Printf.printf "[%s done in %.1fs]\n%!" name elapsed)
+          selected)
+  in
+  Printf.printf "\nAll selected experiments finished in %.1fs.\n%!" total
+
+open Cmdliner
+
+let scale_arg =
+  let parse = function
+    | "small" -> Ok Bench_util.Small
+    | "paper" -> Ok Bench_util.Paper
+    | s -> Error (`Msg (Printf.sprintf "invalid scale %S (small|paper)" s))
+  in
+  let print fmt s = Format.pp_print_string fmt (Bench_util.scale_name s) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Bench_util.Small
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:
+          "Problem sizes: $(b,small) (default, minutes) or $(b,paper) (the \
+           paper's sizes, much slower).")
+
+let ids_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"EXPERIMENT"
+        ~doc:
+          "Experiment ids to run (default: all). See DESIGN.md for the \
+           experiment index.")
+
+let cmd =
+  let doc = "regenerate the ForkBase paper's tables and figures" in
+  Cmd.v
+    (Cmd.info "forkbase-bench" ~doc)
+    Term.(const (fun scale ids -> run_ids scale ids) $ scale_arg $ ids_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,217 @@
+(* forkbase — a command-line client for a file-backed ForkBase store.
+
+   The chunk store persists in an append-only log (FORKBASE_DIR/chunks.log,
+   default ./forkbase-data); branch heads persist in a simple text file so
+   the CLI is stateless across invocations.
+
+     forkbase put  <key> <value> [--branch b]
+     forkbase get  <key> [--branch b]
+     forkbase fork <key> <from> <new>
+     forkbase branches <key>
+     forkbase log  <key> [--branch b]
+     forkbase merge <key> <target> <ref-branch> [--resolver r]
+     forkbase keys
+     forkbase verify <key> [--branch b]
+     forkbase stats *)
+
+module Db = Forkbase.Db
+module Value = Fbtypes.Value
+module Cid = Fbchunk.Cid
+
+let data_dir () =
+  match Sys.getenv_opt "FORKBASE_DIR" with
+  | Some d -> d
+  | None -> "./forkbase-data"
+
+(* Branch heads are re-applied on startup: key<TAB>branch<TAB>uid-hex. *)
+let heads_file dir = Filename.concat dir "heads.tsv"
+
+let load_heads db dir =
+  let path = heads_file dir in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    (try
+       while true do
+         match String.split_on_char '\t' (input_line ic) with
+         | [ key; branch; uid_hex ] -> (
+             match Db.restore_branch db ~key ~branch (Cid.of_hex uid_hex) with
+             | Ok () -> ()
+             | Error _ -> ())
+         | _ -> ()
+       done
+     with End_of_file -> ());
+    close_in ic
+  end
+
+let save_heads db dir =
+  let oc = open_out (heads_file dir) in
+  List.iter
+    (fun key ->
+      List.iter
+        (fun (branch, uid) ->
+          Printf.fprintf oc "%s\t%s\t%s\n" key branch (Cid.to_hex uid))
+        (Db.list_tagged_branches db ~key))
+    (Db.list_keys db);
+  close_out oc
+
+let with_db f =
+  let dir = data_dir () in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let log = Fbchunk.Log_store.open_ (Filename.concat dir "chunks.log") in
+  let db = Db.create (Fbchunk.Log_store.store log) in
+  load_heads db dir;
+  let result = f db in
+  save_heads db dir;
+  Fbchunk.Log_store.close log;
+  result
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "error: %s\n" (Db.error_to_string e);
+      exit 1
+
+let print_value = function
+  | Value.Prim p -> print_endline (Fbtypes.Prim.to_string p)
+  | Value.Blob b -> print_string (Fbtypes.Fblob.to_string b)
+  | Value.List l -> List.iter print_endline (Fbtypes.Flist.to_list l)
+  | Value.Map m ->
+      Fbtypes.Fmap.iter (fun k v -> Printf.printf "%s\t%s\n" k v) m
+  | Value.Set s -> List.iter print_endline (Fbtypes.Fset.elements s)
+
+open Cmdliner
+
+let branch_arg =
+  Arg.(value & opt string Db.default_branch & info [ "b"; "branch" ] ~docv:"BRANCH")
+
+let key_pos = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY")
+
+let put_cmd =
+  let run branch key value as_blob context =
+    with_db @@ fun db ->
+    let v = if as_blob then Db.blob db value else Db.str value in
+    let uid = Db.put ~branch ~context db ~key v in
+    Printf.printf "%s\n" (Cid.to_hex uid)
+  in
+  let value_pos = Arg.(required & pos 1 (some string) None & info [] ~docv:"VALUE") in
+  let blob_flag = Arg.(value & flag & info [ "blob" ] ~doc:"Store as a chunked Blob.") in
+  let context_arg = Arg.(value & opt string "" & info [ "m"; "message" ] ~docv:"MSG") in
+  Cmd.v (Cmd.info "put" ~doc:"write a value to a branch head")
+    Term.(const run $ branch_arg $ key_pos $ value_pos $ blob_flag $ context_arg)
+
+let get_cmd =
+  let run branch key =
+    with_db @@ fun db -> print_value (or_die (Db.get ~branch db ~key))
+  in
+  Cmd.v (Cmd.info "get" ~doc:"read a branch head") Term.(const run $ branch_arg $ key_pos)
+
+let fork_cmd =
+  let run key from_branch new_branch =
+    with_db @@ fun db ->
+    or_die (Db.fork db ~key ~from_branch ~new_branch);
+    Printf.printf "forked %s: %s -> %s\n" key from_branch new_branch
+  in
+  let from_pos = Arg.(required & pos 1 (some string) None & info [] ~docv:"FROM") in
+  let new_pos = Arg.(required & pos 2 (some string) None & info [] ~docv:"NEW") in
+  Cmd.v (Cmd.info "fork" ~doc:"fork a new branch") Term.(const run $ key_pos $ from_pos $ new_pos)
+
+let branches_cmd =
+  let run key =
+    with_db @@ fun db ->
+    List.iter
+      (fun (name, uid) -> Printf.printf "%s\t%s\n" name (Cid.to_hex uid))
+      (Db.list_tagged_branches db ~key)
+  in
+  Cmd.v (Cmd.info "branches" ~doc:"list tagged branches of a key") Term.(const run $ key_pos)
+
+let log_cmd =
+  let run branch key =
+    with_db @@ fun db ->
+    let history = or_die (Db.track ~branch db ~key ~dist_range:(0, max_int)) in
+    List.iter
+      (fun (dist, uid, obj) ->
+        Printf.printf "%-3d %s depth=%d%s\n" dist (Cid.to_hex uid)
+          obj.Forkbase.Fobject.depth
+          (if obj.Forkbase.Fobject.context = "" then ""
+           else "  (" ^ obj.Forkbase.Fobject.context ^ ")"))
+      history
+  in
+  Cmd.v (Cmd.info "log" ~doc:"show a branch's version history")
+    Term.(const run $ branch_arg $ key_pos)
+
+let merge_cmd =
+  let run key target ref_branch resolver =
+    with_db @@ fun db ->
+    let resolver =
+      match resolver with
+      | "manual" -> Forkbase.Merge.Manual
+      | "left" -> Forkbase.Merge.Choose_left
+      | "right" -> Forkbase.Merge.Choose_right
+      | "append" -> Forkbase.Merge.Append
+      | "aggregate" -> Forkbase.Merge.Aggregate
+      | r ->
+          Printf.eprintf "unknown resolver %S\n" r;
+          exit 2
+    in
+    let uid = or_die (Db.merge ~resolver db ~key ~target ~ref_:(`Branch ref_branch)) in
+    Printf.printf "merged -> %s\n" (Cid.to_hex uid)
+  in
+  let target_pos = Arg.(required & pos 1 (some string) None & info [] ~docv:"TARGET") in
+  let ref_pos = Arg.(required & pos 2 (some string) None & info [] ~docv:"REF") in
+  let resolver_arg =
+    Arg.(value & opt string "manual" & info [ "resolver" ] ~docv:"RESOLVER"
+           ~doc:"manual|left|right|append|aggregate")
+  in
+  Cmd.v (Cmd.info "merge" ~doc:"three-way merge REF into TARGET")
+    Term.(const run $ key_pos $ target_pos $ ref_pos $ resolver_arg)
+
+let keys_cmd =
+  let run () = with_db @@ fun db -> List.iter print_endline (Db.list_keys db) in
+  Cmd.v (Cmd.info "keys" ~doc:"list all keys") Term.(const run $ const ())
+
+let verify_cmd =
+  let run branch key =
+    with_db @@ fun db ->
+    let head = or_die (Db.head ~branch db ~key) in
+    Printf.printf "%s %s\n"
+      (Cid.to_hex head)
+      (if Db.verify_version db head then "OK" else "TAMPERED")
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"re-hash a head version and its chunks")
+    Term.(const run $ branch_arg $ key_pos)
+
+let serve_cmd =
+  let run port =
+    with_db @@ fun db ->
+    let listen_fd = Fbremote.Server.listen ~port () in
+    Printf.printf "forkbase server listening on 127.0.0.1:%d (data in %s)\n%!"
+      (Fbremote.Server.bound_port listen_fd)
+      (data_dir ());
+    Fbremote.Server.serve db listen_fd
+  in
+  let port_arg =
+    Arg.(value & opt int 7878 & info [ "p"; "port" ] ~docv:"PORT")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"run a network server over this store (stops on a Quit request)")
+    Term.(const run $ port_arg)
+
+let stats_cmd =
+  let run () =
+    with_db @@ fun db ->
+    let s = (Db.store db).Fbchunk.Chunk_store.stats () in
+    Format.printf "%a@." Fbchunk.Chunk_store.pp_stats s
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"chunk store statistics") Term.(const run $ const ())
+
+let () =
+  let doc = "a tamper-evident, forkable key-value store (ForkBase)" in
+  let info = Cmd.info "forkbase" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            put_cmd; get_cmd; fork_cmd; branches_cmd; log_cmd; merge_cmd;
+            keys_cmd; verify_cmd; stats_cmd; serve_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/blockchain_ledger.ml: Blockchain Fbchunk Fbutil List Option Printf String

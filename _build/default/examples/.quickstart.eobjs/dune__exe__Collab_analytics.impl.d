@@ -1,0 +1,1 @@
+examples/collab_analytics.ml: Array Fbchunk Fbutil Forkbase List Option Orpheus Printf String Tabular Workload

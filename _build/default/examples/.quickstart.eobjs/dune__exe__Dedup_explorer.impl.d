@@ -1,0 +1,1 @@
+examples/dedup_explorer.ml: Fbchunk Fbtree Fbtypes Printf String Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fbchunk Fbtypes Forkbase List Printf String

@@ -1,0 +1,1 @@
+examples/wiki_collab.ml: Fbchunk Fbtypes Fbutil Forkbase List Printf Redislike String Wiki Workload

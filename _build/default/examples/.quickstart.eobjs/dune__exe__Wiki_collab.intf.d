@@ -1,0 +1,1 @@
+examples/wiki_collab.mli:

@@ -1,0 +1,68 @@
+(* POS-Tree internals explorer.
+
+   Builds blobs and maps, shows their chunk structure, demonstrates
+   history independence (same content -> same root regardless of edit
+   history), content-defined boundary resync after an insertion, and the
+   chunk-level tamper check.
+
+   Run with:  dune exec examples/dedup_explorer.exe *)
+
+module Store = Fbchunk.Chunk_store
+module Fblob = Fbtypes.Fblob
+module Cid = Fbchunk.Cid
+
+let () =
+  let store = Store.mem_store () in
+  let cfg = Fbtree.Tree_config.default in
+
+  let content = Workload.Text_edit.initial_page ~seed:42L ~size:(64 * 1024) in
+  let blob = Fblob.create store cfg content in
+  Printf.printf "64KB blob -> %d chunks, root %s\n" (Fblob.chunk_count blob)
+    (Cid.short_hex (Fblob.root blob));
+
+  (* History independence: a blob assembled by appends equals the bulk
+     build, chunk for chunk. *)
+  let incremental =
+    let rec go b off =
+      if off >= String.length content then b
+      else
+        let take = min 1000 (String.length content - off) in
+        go (Fblob.append b (String.sub content off take)) (off + take)
+    in
+    go (Fblob.empty store cfg) 0
+  in
+  Printf.printf "append-built root equals bulk root: %b\n"
+    (Fblob.equal blob incremental);
+
+  (* Content-defined chunking: inserting 3 bytes near the front shifts all
+     content, yet only the chunks around the edit change. *)
+  let before = (store.Store.stats ()).Store.chunks in
+  let edited = Fblob.insert blob ~pos:100 "XYZ" in
+  let new_chunks = (store.Store.stats ()).Store.chunks - before in
+  Printf.printf "3-byte insertion near the front: %d new chunks (of %d)\n"
+    new_chunks (Fblob.chunk_count edited);
+
+  (* Dedup across objects: two documents sharing a large middle section
+     share its chunks in the store. *)
+  let shared = Workload.Text_edit.initial_page ~seed:7L ~size:40_000 in
+  let doc_a = "HEADER-A\n" ^ shared ^ "\nFOOTER-A" in
+  let doc_b = "HEADER-B (different)\n" ^ shared ^ "\nFOOTER-B (different)" in
+  let store2 = Store.mem_store () in
+  let a = Fblob.create store2 cfg doc_a in
+  let bytes_after_a = (store2.Store.stats ()).Store.bytes in
+  let b = Fblob.create store2 cfg doc_b in
+  let extra = (store2.Store.stats ()).Store.bytes - bytes_after_a in
+  Printf.printf
+    "cross-object dedup: doc B (%d bytes) added only %d new bytes\n"
+    (Fblob.length b) extra;
+  ignore a;
+
+  (* Tamper evidence: hand the blob's root to a verifying reader; a store
+     returning corrupted chunks is detected. *)
+  Printf.printf "blob verifies against its root: %b\n" (Fblob.verify blob);
+  let missing = Store.mem_store () in
+  (match Fblob.of_root missing cfg (Fblob.root blob) with
+  | exception Store.Missing_chunk _ ->
+      print_endline "loading from a store lacking the chunks is detected"
+  | _ -> print_endline "unexpected: loaded from empty store");
+  print_endline "dedup_explorer done."

@@ -1,0 +1,86 @@
+(* Quickstart: the ForkBase public API in five minutes.
+
+   Covers the basic key-value usage, branching (fork-on-demand), the
+   Figure 4 Blob workflow, three-way merge, history tracking and tamper
+   evidence.  Run with:  dune exec examples/quickstart.exe *)
+
+module Db = Forkbase.Db
+module Value = Fbtypes.Value
+module Prim = Fbtypes.Prim
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Db.error_to_string e)
+
+let show_str db ~key ~branch =
+  match ok (Db.get ~branch db ~key) with
+  | Value.Prim (Prim.Str s) -> s
+  | v -> Value.describe v
+
+let () =
+  (* An embedded ForkBase instance over an in-memory chunk store.  Swap in
+     [Fbchunk.Log_store] for persistence. *)
+  let db = Db.create (Fbchunk.Chunk_store.mem_store ()) in
+
+  (* --- 1. plain key-value usage (the default branch) ------------------ *)
+  let v1 = Db.put db ~key:"greeting" (Db.str "hello") in
+  Printf.printf "put greeting -> version %s\n" (Fbchunk.Cid.short_hex v1);
+  Printf.printf "get greeting = %S\n" (show_str db ~key:"greeting" ~branch:"master");
+
+  (* --- 2. fork on demand ---------------------------------------------- *)
+  ok (Db.fork db ~key:"greeting" ~from_branch:"master" ~new_branch:"loud");
+  let (_ : Fbchunk.Cid.t) = Db.put ~branch:"loud" db ~key:"greeting" (Db.str "HELLO!") in
+  Printf.printf "master = %S, loud = %S (branches are isolated)\n"
+    (show_str db ~key:"greeting" ~branch:"master")
+    (show_str db ~key:"greeting" ~branch:"loud");
+
+  (* --- 3. the Figure 4 Blob workflow ---------------------------------- *)
+  let (_ : Fbchunk.Cid.t) = Db.put db ~key:"my key" (Db.blob db "0123456789my value") in
+  ok (Db.fork db ~key:"my key" ~from_branch:"master" ~new_branch:"new branch");
+  (match ok (Db.get ~branch:"new branch" db ~key:"my key") with
+  | Value.Blob blob ->
+      (* Remove 10 bytes from the beginning and append new content. *)
+      let blob = Fbtypes.Fblob.remove blob ~pos:0 ~len:10 in
+      let blob = Fbtypes.Fblob.append blob "some more" in
+      let (_ : Fbchunk.Cid.t) =
+        Db.put ~branch:"new branch" db ~key:"my key" (Value.Blob blob)
+      in
+      Printf.printf "edited blob on new branch: %S\n" (Fbtypes.Fblob.to_string blob)
+  | v -> failwith ("expected a blob, got " ^ Value.describe v));
+
+  (* --- 4. three-way merge --------------------------------------------- *)
+  let (_ : Fbchunk.Cid.t) =
+    Db.put db ~key:"scores" (Db.map db [ ("alice", "10"); ("bob", "20") ])
+  in
+  ok (Db.fork db ~key:"scores" ~from_branch:"master" ~new_branch:"dev");
+  let (_ : Fbchunk.Cid.t) =
+    Db.put db ~key:"scores" (Db.map db [ ("alice", "11"); ("bob", "20") ])
+  in
+  let (_ : Fbchunk.Cid.t) =
+    Db.put ~branch:"dev" db ~key:"scores"
+      (Db.map db [ ("alice", "10"); ("bob", "20"); ("carol", "30") ])
+  in
+  let merged = ok (Db.merge db ~key:"scores" ~target:"master" ~ref_:(`Branch "dev")) in
+  (match ok (Db.get_version db merged) with
+  | Value.Map m ->
+      Printf.printf "merged scores: %s\n"
+        (String.concat ", "
+           (List.map (fun (k, v) -> k ^ "=" ^ v) (Fbtypes.Fmap.bindings m)))
+  | v -> failwith (Value.describe v));
+
+  (* --- 5. history and tamper evidence --------------------------------- *)
+  let (_ : Fbchunk.Cid.t) = Db.put db ~key:"greeting" (Db.str "hello again") in
+  let history = ok (Db.track db ~key:"greeting" ~dist_range:(0, 10)) in
+  Printf.printf "greeting history (%d versions):\n" (List.length history);
+  List.iter
+    (fun (dist, uid, obj) ->
+      Printf.printf "  distance %d: %s (depth %d)\n" dist (Fbchunk.Cid.short_hex uid)
+        obj.Forkbase.Fobject.depth)
+    history;
+  let head = ok (Db.head db ~key:"greeting") in
+  Printf.printf "verify head version: %b\n" (Db.verify_version db head);
+  Printf.printf "v1 is in head's history: %b\n" (Db.history_contains db ~head v1);
+  let foreign = Db.put db ~key:"other" (Db.str "hello") in
+  Printf.printf "foreign version rejected: %b\n"
+    (not (Db.history_contains db ~head foreign));
+  print_endline "quickstart done."

@@ -1,0 +1,99 @@
+(* Collaborative wiki editing (§5.2 + fork semantics).
+
+   Two authors work on the same page: one edits the published branch, the
+   other drafts on a fork; their work is merged three-way.  Also shows
+   version tracking, structural diff, and the storage benefit of chunk
+   dedup versus keeping full copies.
+
+   Run with:  dune exec examples/wiki_collab.exe *)
+
+module Db = Forkbase.Db
+module Value = Fbtypes.Value
+module Fblob = Fbtypes.Fblob
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Db.error_to_string e)
+
+let page_text db ~branch =
+  match ok (Db.get ~branch db ~key:"Main_Page") with
+  | Value.Blob b -> Fblob.to_string b
+  | v -> failwith (Value.describe v)
+
+let () =
+  let store = Fbchunk.Chunk_store.mem_store () in
+  let db = Db.create store in
+
+  let original =
+    "== ForkBase ==\n\
+     ForkBase is a storage engine for blockchain and forkable applications.\n\
+     == Design ==\n\
+     (to be written)\n\
+     == Evaluation ==\n\
+     (to be written)\n"
+  in
+  let (_ : Fbchunk.Cid.t) =
+    Db.put ~context:"initial import" db ~key:"Main_Page" (Db.blob db original)
+  in
+
+  (* Author B drafts on a fork while author A keeps publishing. *)
+  ok (Db.fork db ~key:"Main_Page" ~from_branch:"master" ~new_branch:"draft/bob");
+
+  (* A: fill in the Design section on master. *)
+  let a_version =
+    Workload.Text_edit.apply original
+      (Workload.Text_edit.Overwrite
+         ( 93,
+           "The POS-Tree combines a Merkle tree with a B+-tree." ))
+  in
+  let (_ : Fbchunk.Cid.t) =
+    Db.put ~context:"design section" db ~key:"Main_Page" (Db.blob db a_version)
+  in
+
+  (* B: fill in the Evaluation section on the draft branch. *)
+  let b_version =
+    original ^ "Three applications were evaluated against state-of-the-art systems.\n"
+  in
+  let (_ : Fbchunk.Cid.t) =
+    Db.put ~branch:"draft/bob" ~context:"eval notes" db ~key:"Main_Page"
+      (Db.blob db b_version)
+  in
+
+  Printf.printf "master:\n%s\n" (page_text db ~branch:"master");
+  Printf.printf "draft/bob:\n%s\n" (page_text db ~branch:"draft/bob");
+
+  (* Merge B's draft into master: edits touch disjoint regions, so the
+     three-way merge needs no manual resolution. *)
+  let merged = ok (Db.merge db ~key:"Main_Page" ~target:"master" ~ref_:(`Branch "draft/bob")) in
+  Printf.printf "merged (%s):\n%s\n" (Fbchunk.Cid.short_hex merged)
+    (page_text db ~branch:"master");
+
+  (* Version history of the page. *)
+  let history = ok (Db.track db ~key:"Main_Page" ~dist_range:(0, 10)) in
+  Printf.printf "history (%d versions):\n" (List.length history);
+  List.iter
+    (fun (dist, uid, obj) ->
+      Printf.printf "  %d hops: %s  context=%S\n" dist (Fbchunk.Cid.short_hex uid)
+        obj.Forkbase.Fobject.context)
+    history;
+
+  (* Storage comparison against full-copy versioning (the Redis model). *)
+  let redis = Redislike.Redis.create () in
+  let fb_store2 = Fbchunk.Chunk_store.mem_store () in
+  let fb = Wiki.forkbase_engine fb_store2 in
+  let rengine = Wiki.redis_engine redis in
+  let rng = Fbutil.Splitmix.create 99L in
+  let content = ref (Workload.Text_edit.initial_page ~seed:1L ~size:15_000) in
+  List.iter (fun (e : Wiki.engine) -> e.Wiki.save ~page:"P" ~content:!content) [ fb; rengine ];
+  for _ = 1 to 50 do
+    let edit =
+      Workload.Text_edit.random_edit rng ~page_len:(String.length !content)
+        ~update_ratio:0.9 ~edit_size:120
+    in
+    content := Workload.Text_edit.apply !content edit;
+    List.iter (fun (e : Wiki.engine) -> e.Wiki.save ~page:"P" ~content:!content) [ fb; rengine ]
+  done;
+  Printf.printf "after 50 edits of a 15KB page: ForkBase %dKB vs full copies %dKB\n"
+    (fb.Wiki.storage_bytes () / 1024)
+    (rengine.Wiki.storage_bytes () / 1024);
+  print_endline "wiki_collab done."

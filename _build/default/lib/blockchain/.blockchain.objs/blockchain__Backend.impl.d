@@ -1,0 +1,1 @@
+lib/blockchain/backend.ml: Printf

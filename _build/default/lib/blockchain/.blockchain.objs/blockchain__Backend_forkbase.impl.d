@@ -1,0 +1,1 @@
+lib/blockchain/backend_forkbase.ml: Backend Block Fbchunk Fbtree Fbtypes Forkbase Hashtbl List Option Printf String

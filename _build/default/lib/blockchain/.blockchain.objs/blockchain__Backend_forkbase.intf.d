@@ -1,0 +1,1 @@
+lib/blockchain/backend_forkbase.mli: Backend Fbchunk Fbtree

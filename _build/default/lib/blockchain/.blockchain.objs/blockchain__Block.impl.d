@@ -1,0 +1,1 @@
+lib/blockchain/block.ml: Buffer Fbhash Fbutil String

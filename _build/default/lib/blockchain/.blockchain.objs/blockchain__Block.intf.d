@@ -1,0 +1,1 @@
+lib/blockchain/block.mli:

@@ -1,0 +1,1 @@
+lib/blockchain/chain.ml: Array Backend Block List String Transaction Unix

@@ -1,0 +1,1 @@
+lib/blockchain/chain.mli: Backend Block Transaction

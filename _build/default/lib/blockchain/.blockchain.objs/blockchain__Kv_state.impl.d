@@ -1,0 +1,1 @@
+lib/blockchain/kv_state.ml: Backend Block Fbchunk Fbtypes Forkbase Hashtbl List Lsm Merkle Option Printf String

@@ -1,0 +1,1 @@
+lib/blockchain/kv_state.mli: Backend Forkbase Lsm

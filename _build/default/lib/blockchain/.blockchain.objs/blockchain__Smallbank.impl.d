@@ -1,0 +1,1 @@
+lib/blockchain/smallbank.ml: Array Backend Chain Fbutil List Option Transaction

@@ -1,0 +1,1 @@
+lib/blockchain/smallbank.mli: Backend Chain Fbutil

@@ -1,0 +1,1 @@
+lib/blockchain/transaction.ml: Buffer Fbhash Fbutil List Printf String Workload

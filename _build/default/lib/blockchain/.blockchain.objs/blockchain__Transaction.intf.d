@@ -1,0 +1,1 @@
+lib/blockchain/transaction.mli: Buffer Fbutil Workload

@@ -1,0 +1,15 @@
+type t = {
+  name : string;
+  read : contract:string -> key:string -> string option;
+  write : contract:string -> key:string -> value:string -> unit;
+  commit : height:int -> string;
+  state_scan : contract:string -> keys:string list -> (string * (int * string) list) list;
+  block_scan : height:int -> (string * string * string) list;
+  storage_bytes : unit -> int;
+}
+
+type merkle_choice = Bucket of int | Trie
+
+let merkle_choice_name = function
+  | Bucket n -> Printf.sprintf "bucket-%d" n
+  | Trie -> "trie"

@@ -1,0 +1,32 @@
+(** Storage backend interface for the blockchain platform.
+
+    The three implementations mirror §6.2's comparison: {!Backend_forkbase}
+    (structured ForkBase objects), {!Backend_kv} (an LSM store with
+    application-level Merkle structures and state deltas, i.e. the original
+    Hyperledger-on-RocksDB design), and {!Backend_forkbase_kv} (ForkBase
+    misused as a plain key-value store). *)
+
+type t = {
+  name : string;
+  read : contract:string -> key:string -> string option;
+      (** fetch the latest committed value *)
+  write : contract:string -> key:string -> value:string -> unit;
+      (** buffer an update; becomes visible at the next [commit] *)
+  commit : height:int -> string;
+      (** apply buffered writes and return the state root digest *)
+  state_scan : contract:string -> keys:string list -> (string * (int * string) list) list;
+      (** one scan query over several states: for each key, its history of
+          (block height, value) pairs, newest first.  Batching keys into
+          one query lets baselines amortize their pre-processing, exactly
+          as in Figure 12a. *)
+  block_scan : height:int -> (string * string * string) list;
+      (** (contract, key, value) of all states as of a given block *)
+  storage_bytes : unit -> int;
+}
+
+(** A Merkle structure choice for the baseline backends (Figure 11). *)
+type merkle_choice =
+  | Bucket of int  (** bucket tree with this many buckets *)
+  | Trie
+
+val merkle_choice_name : merkle_choice -> string

@@ -1,0 +1,175 @@
+(* Hyperledger's data structures on ForkBase (§5.1.3, Figure 7b).
+
+   Two levels of Map objects replace the Merkle tree and state delta: the
+   first-level map takes a contract ID to the version of its second-level
+   map, which takes each data key to the version of a Blob holding the
+   value.  Every state value is a versioned ForkBase object, so:
+   - the state hash is simply the first-level map's version,
+   - a state's history is its Blob's derivation chain (state scan needs no
+     chain traversal), and
+   - the states at any block are reachable from the version stored in that
+     block (block scan reads only the relevant objects). *)
+
+module Db = Forkbase.Db
+module Cid = Fbchunk.Cid
+module Value = Fbtypes.Value
+module Fmap = Fbtypes.Fmap
+
+let state_key ~contract ~key = Printf.sprintf "state/%s/%s" contract key
+let contract_key contract = "contract/" ^ contract
+let block_key height = Printf.sprintf "block/%d" height
+let states_key = "states"
+
+let create ?(name = "ForkBase") ?cfg store =
+  (* Type-specific chunk sizing (§4.3.3): blockchain state maps hold ~100 B
+     tuples, so a ~512 B expected leaf keeps per-update write amplification
+     low while staying deduplicatable. *)
+  let cfg =
+    match cfg with Some c -> c | None -> Fbtree.Tree_config.with_leaf_bits 9
+  in
+  let db = Db.create ~cfg store in
+  let pending : (string * string * string) list ref = ref [] in
+  let prev_hash = ref Block.genesis_prev in
+  (* Object-manager cache (§4.6): the latest Map handle per contract, so
+     reads and commits between blocks reuse the parsed tree skeleton
+     instead of reloading it from chunks. *)
+  let contract_maps : (string, Fmap.t) Hashtbl.t = Hashtbl.create 8 in
+  let states_map = ref None in
+  let contract_map c =
+    match Hashtbl.find_opt contract_maps c with
+    | Some m -> Some m
+    | None -> (
+        match Db.get db ~key:(contract_key c) with
+        | Ok (Value.Map m) ->
+            Hashtbl.replace contract_maps c m;
+            Some m
+        | _ -> None)
+  in
+  let read ~contract ~key =
+    (* Access path through the two map levels, as a Hyperledger read
+       would: contract map version -> blob version -> value. *)
+    match contract_map contract with
+    | None -> None
+    | Some m -> (
+        match Fmap.find m key with
+        | None -> None
+        | Some raw_uid -> (
+            match Db.get_version db (Cid.of_raw raw_uid) with
+            | Ok (Value.Blob b) -> Some (Fbtypes.Fblob.to_string b)
+            | _ -> None))
+  in
+  let write ~contract ~key ~value =
+    (* §6.2.1: a ForkBase write simply buffers the new value. *)
+    pending := (contract, key, value) :: !pending
+  in
+  let commit ~height =
+    let writes = List.rev !pending in
+    pending := [];
+    let context = Printf.sprintf "h:%d" height in
+    (* 1. Version every touched state Blob. *)
+    let by_contract = Hashtbl.create 4 in
+    List.iter
+      (fun (c, k, v) ->
+        let uid = Db.put ~context db ~key:(state_key ~contract:c ~key:k) (Db.blob db v) in
+        let l = Option.value ~default:[] (Hashtbl.find_opt by_contract c) in
+        Hashtbl.replace by_contract c ((k, Cid.to_raw uid) :: l))
+      writes;
+    (* 2. Update each touched contract's second-level Map object. *)
+    let contract_updates =
+      Hashtbl.fold
+        (fun c updates acc ->
+          let current =
+            match contract_map c with
+            | Some m -> m
+            | None -> Fmap.empty (Db.store db) (Db.cfg db)
+          in
+          (* [updates] was accumulated in reverse; set_many keeps the last
+             binding per key, so restore commit order. *)
+          let m' = Fmap.set_many current (List.rev updates) in
+          Hashtbl.replace contract_maps c m';
+          let uid = Db.put ~context db ~key:(contract_key c) (Value.Map m') in
+          (c, Cid.to_raw uid) :: acc)
+        by_contract []
+    in
+    (* 3. Update the first-level map; its version is the state hash. *)
+    let states =
+      match !states_map with
+      | Some m -> m
+      | None -> (
+          match Db.get db ~key:states_key with
+          | Ok (Value.Map m) -> m
+          | _ -> Fmap.empty (Db.store db) (Db.cfg db))
+    in
+    let states' = Fmap.set_many states contract_updates in
+    states_map := Some states';
+    let state_uid = Db.put ~context db ~key:states_key (Value.Map states') in
+    (* 4. Chain the block. *)
+    let block =
+      {
+        Block.height;
+        prev_hash = !prev_hash;
+        txn_digest = context;
+        state_root = Cid.to_raw state_uid;
+      }
+    in
+    prev_hash := Block.hash block;
+    let (_ : Cid.t) = Db.put db ~key:(block_key height) (Db.str (Block.encode block)) in
+    Cid.to_raw state_uid
+  in
+  let height_of_context ctx =
+    match String.index_opt ctx ':' with
+    | Some i -> int_of_string (String.sub ctx (i + 1) (String.length ctx - i - 1))
+    | None -> 0
+  in
+  let state_scan ~contract ~keys =
+    List.map
+      (fun key ->
+        let history =
+          match Db.track db ~key:(state_key ~contract ~key) ~dist_range:(0, max_int) with
+          | Error _ -> []
+          | Ok versions ->
+              List.filter_map
+                (fun (_, uid, obj) ->
+                  match Db.get_version db uid with
+                  | Ok (Value.Blob b) ->
+                      Some
+                        ( height_of_context obj.Forkbase.Fobject.context,
+                          Fbtypes.Fblob.to_string b )
+                  | _ -> None)
+                versions
+        in
+        (key, history))
+      keys
+  in
+  let block_scan ~height =
+    match Db.get db ~key:(block_key height) with
+    | Ok (Value.Prim (Fbtypes.Prim.Str s)) -> (
+        let block = Block.decode s in
+        match Db.get_version db (Cid.of_raw block.Block.state_root) with
+        | Ok (Value.Map states) ->
+            List.concat_map
+              (fun (contract, contract_uid) ->
+                match Db.get_version db (Cid.of_raw contract_uid) with
+                | Ok (Value.Map m) ->
+                    List.filter_map
+                      (fun (k, blob_uid) ->
+                        match Db.get_version db (Cid.of_raw blob_uid) with
+                        | Ok (Value.Blob b) ->
+                            Some (contract, k, Fbtypes.Fblob.to_string b)
+                        | _ -> None)
+                      (Fmap.bindings m)
+                | _ -> [])
+              (Fmap.bindings states)
+        | _ -> [])
+    | _ -> []
+  in
+  let storage_bytes () = ((Db.store db).Fbchunk.Chunk_store.stats ()).Fbchunk.Chunk_store.bytes in
+  {
+    Backend.name;
+    read;
+    write;
+    commit;
+    state_scan;
+    block_scan;
+    storage_bytes;
+  }

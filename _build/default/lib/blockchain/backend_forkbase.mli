@@ -1,0 +1,8 @@
+(** Hyperledger-on-ForkBase storage backend (Figure 7b); see the
+    implementation for the data layout. *)
+
+val create :
+  ?name:string ->
+  ?cfg:Fbtree.Tree_config.t ->
+  Fbchunk.Chunk_store.t ->
+  Backend.t

@@ -1,0 +1,29 @@
+module Codec = Fbutil.Codec
+
+type t = {
+  height : int;
+  prev_hash : string;
+  txn_digest : string;
+  state_root : string;
+}
+
+let genesis_prev = String.make 32 '\000'
+
+let encode t =
+  let buf = Buffer.create 128 in
+  Codec.varint buf t.height;
+  Codec.string buf t.prev_hash;
+  Codec.string buf t.txn_digest;
+  Codec.string buf t.state_root;
+  Buffer.contents buf
+
+let decode s =
+  let r = Codec.reader s in
+  let height = Codec.read_varint r in
+  let prev_hash = Codec.read_string r in
+  let txn_digest = Codec.read_string r in
+  let state_root = Codec.read_string r in
+  Codec.expect_end r;
+  { height; prev_hash; txn_digest; state_root }
+
+let hash t = Fbhash.Sha256.digest (encode t)

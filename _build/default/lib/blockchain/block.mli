@@ -1,0 +1,16 @@
+(** Blocks: bundles of transactions linked by cryptographic hash pointers,
+    each carrying the digest of the global states after execution (§5.1). *)
+
+type t = {
+  height : int;
+  prev_hash : string;  (** hash of the previous block; zeros for genesis *)
+  txn_digest : string;  (** digest of the serialized transaction batch *)
+  state_root : string;  (** digest/version of the states after this block *)
+}
+
+val genesis_prev : string
+val encode : t -> string
+val decode : string -> t
+val hash : t -> string
+(** SHA-256 of the encoded block — the value stored in the next block's
+    [prev_hash], making the chain tamper-evident. *)

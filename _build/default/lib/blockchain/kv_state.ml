@@ -1,0 +1,157 @@
+module Delta = Merkle.State_delta
+
+type kv = {
+  kv_name : string;
+  kput : string -> string -> unit;
+  kget : string -> string option;
+  kbytes : unit -> int;
+}
+
+let lsm_kv lsm =
+  {
+    kv_name = "Rocksdb";
+    kput = Lsm.Lsm_store.put lsm;
+    kget = Lsm.Lsm_store.get lsm;
+    kbytes = (fun () -> (Lsm.Lsm_store.stats lsm).Lsm.Lsm_store.bytes);
+  }
+
+let forkbase_kv db =
+  {
+    kv_name = "ForkBase-KV";
+    kput =
+      (fun k v ->
+        let (_ : Fbchunk.Cid.t) = Forkbase.Db.put db ~key:k (Forkbase.Db.str v) in
+        ());
+    kget =
+      (fun k ->
+        match Forkbase.Db.get db ~key:k with
+        | Ok (Fbtypes.Value.Prim (Fbtypes.Prim.Str s)) -> Some s
+        | _ -> None);
+    kbytes =
+      (fun () ->
+        ((Forkbase.Db.store db).Fbchunk.Chunk_store.stats ())
+          .Fbchunk.Chunk_store.bytes);
+  }
+
+(* Merkle structure behind a common face. *)
+type merkle = {
+  m_apply : (string * string option) list -> string;
+  m_hashed_bytes : unit -> int;
+}
+
+let make_merkle = function
+  | Backend.Bucket n ->
+      let bt = Merkle.Bucket_tree.create ~num_buckets:n () in
+      {
+        m_apply = (fun ws -> Merkle.Bucket_tree.apply bt ws);
+        m_hashed_bytes = (fun () -> Merkle.Bucket_tree.hashed_bytes bt);
+      }
+  | Backend.Trie ->
+      let trie = Merkle.Patricia_trie.create () in
+      {
+        m_apply =
+          (fun ws ->
+            List.iter
+              (fun (k, v) ->
+                match v with
+                | Some v -> Merkle.Patricia_trie.set trie k v
+                | None -> Merkle.Patricia_trie.remove trie k)
+              ws;
+            Merkle.Patricia_trie.commit trie);
+        m_hashed_bytes = (fun () -> Merkle.Patricia_trie.hashed_bytes trie);
+      }
+
+let state_key ~contract ~key = Printf.sprintf "s/%s/%s" contract key
+let delta_key height = Printf.sprintf "d/%d" height
+let block_key height = Printf.sprintf "b/%d" height
+let merkle_key ~contract ~key = contract ^ "/" ^ key
+
+let create ?(merkle = Backend.Bucket 1024) kv =
+  let m = make_merkle merkle in
+  let pending : (string * string * string) list ref = ref [] in
+  let deltas : Delta.t ref = ref [] in
+  let prev_hash = ref Block.genesis_prev in
+  let chain_height = ref 0 in
+  let read ~contract ~key = kv.kget (state_key ~contract ~key) in
+  let write ~contract ~key ~value =
+    (* §6.2.1: the baseline computes temporary updates for its internal
+       structures on every write — a delta entry needs the old value. *)
+    let prev = kv.kget (state_key ~contract ~key) in
+    deltas := { Delta.key = merkle_key ~contract ~key; prev; next = Some value } :: !deltas;
+    pending := (contract, key, value) :: !pending
+  in
+  let commit ~height =
+    let writes = List.rev !pending in
+    pending := [];
+    let delta = List.rev !deltas in
+    deltas := [];
+    List.iter (fun (c, k, v) -> kv.kput (state_key ~contract:c ~key:k) v) writes;
+    let root =
+      m.m_apply
+        (List.map (fun (c, k, v) -> (merkle_key ~contract:c ~key:k, Some v)) writes)
+    in
+    kv.kput (delta_key height) (Delta.encode delta);
+    let block =
+      { Block.height; prev_hash = !prev_hash; txn_digest = ""; state_root = root }
+    in
+    prev_hash := Block.hash block;
+    chain_height := height;
+    kv.kput (block_key height) (Block.encode block);
+    root
+  in
+  (* Scan queries need an index that Hyperledger does not maintain: each
+     query pays a pre-processing pass decoding every block's delta
+     (§6.2.3), then serves all its keys from the temporary index. *)
+  let build_index () =
+    let index : (string, (int * string) list) Hashtbl.t = Hashtbl.create 1024 in
+    for h = 1 to !chain_height do
+      match kv.kget (delta_key h) with
+      | None -> ()
+      | Some bytes ->
+          List.iter
+            (fun e ->
+              match e.Delta.next with
+              | Some v ->
+                  let l = Option.value ~default:[] (Hashtbl.find_opt index e.Delta.key) in
+                  Hashtbl.replace index e.Delta.key ((h, v) :: l)
+              | None -> ())
+            (Delta.decode bytes)
+    done;
+    index
+  in
+  let state_scan ~contract ~keys =
+    let index = build_index () in
+    List.map
+      (fun key ->
+        (key, Option.value ~default:[] (Hashtbl.find_opt index (merkle_key ~contract ~key))))
+      keys
+  in
+  let block_scan ~height =
+    let index = build_index () in
+    Hashtbl.fold
+      (fun mkey history acc ->
+        (* history is newest-first; find the latest write at or before
+           [height]. *)
+        match List.find_opt (fun (h, _) -> h <= height) history with
+        | None -> acc
+        | Some (_, v) -> (
+            match String.index_opt mkey '/' with
+            | Some i ->
+                ( String.sub mkey 0 i,
+                  String.sub mkey (i + 1) (String.length mkey - i - 1),
+                  v )
+                :: acc
+            | None -> (mkey, "", v) :: acc))
+      index []
+  in
+  let storage_bytes () = kv.kbytes () in
+  ignore m.m_hashed_bytes;
+  {
+    Backend.name = kv.kv_name ^ (match merkle with Backend.Bucket 1024 -> "" | mc -> "/" ^ Backend.merkle_choice_name mc);
+    read;
+    write;
+    commit;
+    state_scan;
+    block_scan;
+    storage_bytes;
+  }

@@ -1,0 +1,90 @@
+type op =
+  | Balance of string
+  | Deposit_checking of string * int
+  | Transact_savings of string * int
+  | Amalgamate of string * string
+  | Write_check of string * int
+  | Send_payment of string * string * int
+
+let contract = "smallbank"
+let savings_key who = "s:" ^ who
+let checking_key who = "c:" ^ who
+
+(* Reads must see buffered writes of the same block interval, so the
+   contract keeps a tiny write-through view on top of the backend. *)
+let read_int chain key =
+  let be = Chain.backend chain in
+  match be.Backend.read ~contract ~key with
+  | Some v -> ( match int_of_string_opt v with Some i -> Some i | None -> None)
+  | None -> None
+
+let submit_write chain key value =
+  Chain.submit chain
+    { Transaction.contract; op = Transaction.Put (key, string_of_int value) }
+
+let submit_read chain key =
+  Chain.submit chain { Transaction.contract; op = Transaction.Get key }
+
+let setup chain ~accounts ~initial =
+  List.iter
+    (fun who ->
+      submit_write chain (savings_key who) initial;
+      submit_write chain (checking_key who) initial)
+    accounts;
+  Chain.flush chain
+
+let get0 chain key = Option.value ~default:0 (read_int chain key)
+
+let execute chain op =
+  (match op with
+  | Balance who ->
+      submit_read chain (savings_key who);
+      submit_read chain (checking_key who)
+  | Deposit_checking (who, amount) ->
+      submit_write chain (checking_key who) (get0 chain (checking_key who) + amount)
+  | Transact_savings (who, amount) ->
+      let balance = max 0 (get0 chain (savings_key who) + amount) in
+      submit_write chain (savings_key who) balance
+  | Amalgamate (a, b) when a <> b ->
+      let total = get0 chain (savings_key a) + get0 chain (checking_key a) in
+      submit_write chain (savings_key a) 0;
+      submit_write chain (checking_key a) 0;
+      submit_write chain (checking_key b) (get0 chain (checking_key b) + total)
+  | Amalgamate _ -> () (* self-amalgamation is a no-op *)
+  | Write_check (who, amount) ->
+      submit_write chain (checking_key who) (get0 chain (checking_key who) - amount)
+  | Send_payment (a, b, amount) when a <> b ->
+      let from = get0 chain (checking_key a) in
+      if from >= amount then begin
+        submit_write chain (checking_key a) (from - amount);
+        submit_write chain (checking_key b) (get0 chain (checking_key b) + amount)
+      end
+  | Send_payment _ -> () (* self-payment is a no-op *));
+  (* each operation is its own transaction boundary in this driver *)
+  Chain.flush chain
+
+let read_backend be key =
+  match be.Backend.read ~contract ~key with
+  | Some v -> int_of_string_opt v
+  | None -> None
+
+let savings be who = read_backend be (savings_key who)
+let checking be who = read_backend be (checking_key who)
+
+let total_funds be ~accounts =
+  List.fold_left
+    (fun acc who ->
+      acc
+      + Option.value ~default:0 (savings be who)
+      + Option.value ~default:0 (checking be who))
+    0 accounts
+
+let random_op rng ~accounts =
+  let pick () = accounts.(Fbutil.Splitmix.int rng (Array.length accounts)) in
+  match Fbutil.Splitmix.int rng 6 with
+  | 0 -> Balance (pick ())
+  | 1 -> Deposit_checking (pick (), 1 + Fbutil.Splitmix.int rng 50)
+  | 2 -> Transact_savings (pick (), Fbutil.Splitmix.int rng 100 - 50)
+  | 3 -> Amalgamate (pick (), pick ())
+  | 4 -> Write_check (pick (), 1 + Fbutil.Splitmix.int rng 50)
+  | _ -> Send_payment (pick (), pick (), 1 + Fbutil.Splitmix.int rng 50)

@@ -1,0 +1,32 @@
+(** The SmallBank smart contract — the second Blockbench macro workload
+    [23], here used to exercise the storage backends with a contract whose
+    transactions touch multiple states each (unlike the single-op KV
+    contract of §6.2).
+
+    Accounts have a savings and a checking balance; the six standard
+    operations read and write one or two accounts per transaction. *)
+
+type op =
+  | Balance of string  (** read savings + checking *)
+  | Deposit_checking of string * int
+  | Transact_savings of string * int  (** may be negative; floors at 0 *)
+  | Amalgamate of string * string  (** move all of A's funds into B *)
+  | Write_check of string * int
+  | Send_payment of string * string * int
+
+val setup : Chain.t -> accounts:string list -> initial:int -> unit
+(** Create every account with [initial] in both balances (committed). *)
+
+val execute : Chain.t -> op -> unit
+(** Run one operation as a transaction batch against the chain's backend.
+    Reads happen against committed state; writes buffer until the chain
+    commits. *)
+
+val savings : Backend.t -> string -> int option
+val checking : Backend.t -> string -> int option
+
+val total_funds : Backend.t -> accounts:string list -> int
+(** Σ savings + checking — conserved by every operation except deposits
+    and checks, which the tests account for explicitly. *)
+
+val random_op : Fbutil.Splitmix.t -> accounts:string array -> op

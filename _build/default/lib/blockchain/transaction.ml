@@ -1,0 +1,36 @@
+module Codec = Fbutil.Codec
+
+type op = Get of string | Put of string * string
+type t = { contract : string; op : op }
+
+let encode buf t =
+  Codec.string buf t.contract;
+  match t.op with
+  | Get k ->
+      Buffer.add_char buf 'r';
+      Codec.string buf k
+  | Put (k, v) ->
+      Buffer.add_char buf 'w';
+      Codec.string buf k;
+      Codec.string buf v
+
+let decode r =
+  let contract = Codec.read_string r in
+  match (Codec.read_raw r 1).[0] with
+  | 'r' -> { contract; op = Get (Codec.read_string r) }
+  | 'w' ->
+      let k = Codec.read_string r in
+      let v = Codec.read_string r in
+      { contract; op = Put (k, v) }
+  | c -> raise (Codec.Corrupt (Printf.sprintf "invalid txn op %C" c))
+
+let digest_batch txns =
+  let buf = Buffer.create 1024 in
+  List.iter (encode buf) txns;
+  Fbhash.Sha256.digest (Buffer.contents buf)
+
+let of_ycsb ~contract = function
+  | Workload.Ycsb.Read k -> { contract; op = Get k }
+  | Workload.Ycsb.Update (k, v) -> { contract; op = Put (k, v) }
+
+let is_write t = match t.op with Put _ -> true | Get _ -> false

@@ -1,0 +1,12 @@
+(** Transactions for the key-value smart contract (§6.2): each transaction
+    invokes a read or a write on a contract's own key-value state. *)
+
+type op = Get of string | Put of string * string
+
+type t = { contract : string; op : op }
+
+val encode : Buffer.t -> t -> unit
+val decode : Fbutil.Codec.reader -> t
+val digest_batch : t list -> string
+val of_ycsb : contract:string -> Workload.Ycsb.op -> t
+val is_write : t -> bool

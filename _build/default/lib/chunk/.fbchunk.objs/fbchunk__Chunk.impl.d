@@ -1,0 +1,1 @@
+lib/chunk/chunk.ml: Bytes Cid Fbutil Printf String

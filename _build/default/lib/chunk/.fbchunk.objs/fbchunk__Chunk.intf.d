@@ -1,0 +1,1 @@
+lib/chunk/chunk.mli: Cid

@@ -1,0 +1,1 @@
+lib/chunk/chunk_store.ml: Array Chunk Cid Format Queue

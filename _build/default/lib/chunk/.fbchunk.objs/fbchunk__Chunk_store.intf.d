@@ -1,0 +1,1 @@
+lib/chunk/chunk_store.mli: Chunk Cid Format

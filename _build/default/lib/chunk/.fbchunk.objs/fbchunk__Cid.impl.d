@@ -1,0 +1,1 @@
+lib/chunk/cid.ml: Char Fbhash Fbutil Format Hashtbl Map Set String

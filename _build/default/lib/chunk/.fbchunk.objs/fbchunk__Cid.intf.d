@@ -1,0 +1,1 @@
+lib/chunk/cid.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/chunk/log_store.ml: Buffer Bytes Char Chunk Chunk_store Cid Fbutil Stdlib String Unix

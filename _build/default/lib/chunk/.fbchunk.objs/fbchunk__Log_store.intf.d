@@ -1,0 +1,1 @@
+lib/chunk/log_store.mli: Chunk_store

@@ -1,0 +1,181 @@
+type stats = {
+  mutable puts : int;
+  mutable dedup_hits : int;
+  mutable gets : int;
+  mutable misses : int;
+  mutable chunks : int;
+  mutable bytes : int;
+}
+
+let fresh_stats () =
+  { puts = 0; dedup_hits = 0; gets = 0; misses = 0; chunks = 0; bytes = 0 }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "chunks=%d bytes=%d puts=%d dedup=%d gets=%d misses=%d" s.chunks s.bytes
+    s.puts s.dedup_hits s.gets s.misses
+
+type t = {
+  put : Chunk.t -> Cid.t;
+  get : Cid.t -> Chunk.t option;
+  mem : Cid.t -> bool;
+  stats : unit -> stats;
+}
+
+exception Missing_chunk of Cid.t
+exception Corrupt_chunk of Cid.t
+
+let get_exn t cid =
+  match t.get cid with Some c -> c | None -> raise (Missing_chunk cid)
+
+let mem_store () =
+  let tbl : Chunk.t Cid.Tbl.t = Cid.Tbl.create 1024 in
+  let stats = fresh_stats () in
+  let put chunk =
+    let cid = Chunk.cid chunk in
+    stats.puts <- stats.puts + 1;
+    if Cid.Tbl.mem tbl cid then stats.dedup_hits <- stats.dedup_hits + 1
+    else begin
+      Cid.Tbl.replace tbl cid chunk;
+      stats.chunks <- stats.chunks + 1;
+      stats.bytes <- stats.bytes + Chunk.byte_size chunk
+    end;
+    cid
+  in
+  let get cid =
+    stats.gets <- stats.gets + 1;
+    match Cid.Tbl.find_opt tbl cid with
+    | Some _ as r -> r
+    | None ->
+        stats.misses <- stats.misses + 1;
+        None
+  in
+  { put; get; mem = Cid.Tbl.mem tbl; stats = (fun () -> stats) }
+
+let verifying inner =
+  let get cid =
+    match inner.get cid with
+    | None -> None
+    | Some chunk ->
+        if Cid.equal (Chunk.cid chunk) cid then Some chunk
+        else raise (Corrupt_chunk cid)
+  in
+  { inner with get }
+
+let counting inner ~read_bytes ~written_bytes =
+  let put chunk =
+    written_bytes := !written_bytes + Chunk.byte_size chunk;
+    inner.put chunk
+  in
+  let get cid =
+    match inner.get cid with
+    | Some chunk as r ->
+        read_bytes := !read_bytes + Chunk.byte_size chunk;
+        r
+    | None -> None
+  in
+  { inner with put; get }
+
+let with_cache ?(capacity = 4096) inner =
+  let cache : Chunk.t Cid.Tbl.t = Cid.Tbl.create capacity in
+  let order : Cid.t Queue.t = Queue.create () in
+  let insert cid chunk =
+    if not (Cid.Tbl.mem cache cid) then begin
+      if Cid.Tbl.length cache >= capacity then begin
+        let victim = Queue.pop order in
+        Cid.Tbl.remove cache victim
+      end;
+      Cid.Tbl.replace cache cid chunk;
+      Queue.push cid order
+    end
+  in
+  let get cid =
+    match Cid.Tbl.find_opt cache cid with
+    | Some c -> Some c
+    | None -> (
+        match inner.get cid with
+        | Some chunk as r ->
+            insert cid chunk;
+            r
+        | None -> None)
+  in
+  let put chunk =
+    let cid = inner.put chunk in
+    insert cid chunk;
+    cid
+  in
+  let mem cid = Cid.Tbl.mem cache cid || inner.mem cid in
+  { inner with put; get; mem }
+
+let replicated members ~replicas ~route =
+  let arr = Array.of_list members in
+  let n = Array.length arr in
+  if n = 0 then invalid_arg "Chunk_store.replicated: empty";
+  if replicas < 1 || replicas > n then
+    invalid_arg "Chunk_store.replicated: bad replica count";
+  let home cid = route cid mod n in
+  let put chunk =
+    let cid = Chunk.cid chunk in
+    let base = home cid in
+    for k = 0 to replicas - 1 do
+      ignore (arr.((base + k) mod n).put chunk)
+    done;
+    cid
+  in
+  let get cid =
+    let base = home cid in
+    let rec try_replica k =
+      if k >= replicas then None
+      else
+        match arr.((base + k) mod n).get cid with
+        | Some chunk when Cid.equal (Chunk.cid chunk) cid -> Some chunk
+        | Some _ (* corrupted replica *) | None -> try_replica (k + 1)
+        | exception Corrupt_chunk _ -> try_replica (k + 1)
+    in
+    try_replica 0
+  in
+  let mem cid =
+    let base = home cid in
+    let rec go k = k < replicas && (arr.((base + k) mod n).mem cid || go (k + 1)) in
+    go 0
+  in
+  let stats () =
+    let acc = fresh_stats () in
+    Array.iter
+      (fun m ->
+        let s = m.stats () in
+        acc.puts <- acc.puts + s.puts;
+        acc.dedup_hits <- acc.dedup_hits + s.dedup_hits;
+        acc.gets <- acc.gets + s.gets;
+        acc.misses <- acc.misses + s.misses;
+        acc.chunks <- acc.chunks + s.chunks;
+        acc.bytes <- acc.bytes + s.bytes)
+      arr;
+    acc
+  in
+  { put; get; mem; stats }
+
+let union members ~route =
+  match members with
+  | [] -> invalid_arg "Chunk_store.union: empty"
+  | _ ->
+      let arr = Array.of_list members in
+      let pick cid = arr.(route cid mod Array.length arr) in
+      let put chunk = (pick (Chunk.cid chunk)).put chunk in
+      let get cid = (pick cid).get cid in
+      let mem cid = (pick cid).mem cid in
+      let stats () =
+        let acc = fresh_stats () in
+        Array.iter
+          (fun m ->
+            let s = m.stats () in
+            acc.puts <- acc.puts + s.puts;
+            acc.dedup_hits <- acc.dedup_hits + s.dedup_hits;
+            acc.gets <- acc.gets + s.gets;
+            acc.misses <- acc.misses + s.misses;
+            acc.chunks <- acc.chunks + s.chunks;
+            acc.bytes <- acc.bytes + s.bytes)
+          arr;
+        acc
+      in
+      { put; get; mem; stats }

@@ -1,0 +1,59 @@
+(** Content-addressed chunk storage (§4.4).
+
+    The store exposes a key-value interface where the key is a cid and the
+    value is the chunk bytes.  Puts of an existing cid are free thanks to
+    deduplication.  A store is a record of closures so that higher layers
+    (caches, partitioned cluster stores, byte counters) can wrap any
+    backend uniformly. *)
+
+type stats = {
+  mutable puts : int;  (** put requests received *)
+  mutable dedup_hits : int;  (** puts answered without storing *)
+  mutable gets : int;
+  mutable misses : int;
+  mutable chunks : int;  (** distinct chunks held *)
+  mutable bytes : int;  (** serialized bytes held *)
+}
+
+val fresh_stats : unit -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+type t = {
+  put : Chunk.t -> Cid.t;
+  get : Cid.t -> Chunk.t option;
+  mem : Cid.t -> bool;
+  stats : unit -> stats;
+}
+
+exception Missing_chunk of Cid.t
+exception Corrupt_chunk of Cid.t
+
+val get_exn : t -> Cid.t -> Chunk.t
+(** @raise Missing_chunk when absent. *)
+
+val mem_store : unit -> t
+(** Volatile in-memory store backed by a hash table. *)
+
+val verifying : t -> t
+(** Wrap a store so every [get] re-hashes the chunk and raises
+    {!Corrupt_chunk} on a cid mismatch — the client-side tamper check. *)
+
+val counting :
+  t -> read_bytes:int ref -> written_bytes:int ref -> t
+(** Wrap a store, accumulating transferred byte counts (used by the cluster
+    simulator to model network traffic). *)
+
+val with_cache : ?capacity:int -> t -> t
+(** Client-side chunk cache (FIFO eviction).  Models the servlet/client
+    caches of §4.6 and the wiki experiment of §6.3.1. *)
+
+val union : t list -> route:(Cid.t -> int) -> t
+(** Partitioned pool of stores: each cid lives in store [route cid].  This
+    is the "servlet to chunk storage" layer of the two-layer partitioning
+    (§4.6); [stats] aggregates over members. *)
+
+val replicated : t list -> replicas:int -> route:(Cid.t -> int) -> t
+(** Replicated pool (§4.4): a chunk is written to [replicas] consecutive
+    members starting at [route cid]; reads fall back to the next replica
+    when a member misses or returns corrupted bytes, so the pool tolerates
+    up to [replicas - 1] damaged members per chunk. *)

@@ -1,0 +1,40 @@
+type t = string
+
+let size = 32
+
+let of_raw s =
+  if String.length s <> size then invalid_arg "Cid.of_raw: need 32 bytes";
+  s
+
+let to_raw t = t
+let of_hex h = of_raw (Fbutil.Hex.decode h)
+let to_hex = Fbutil.Hex.encode
+let short_hex t = String.sub (to_hex t) 0 8
+let digest = Fbhash.Sha256.digest
+let null = String.make size '\000'
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp fmt t = Format.pp_print_string fmt (short_hex t)
+
+let low_bits t =
+  (* Little-endian read of the digest's last 4 bytes; any fixed slice works
+     since the digest is uniform. *)
+  let b i = Char.code t.[size - 1 - i] in
+  (b 3 lsl 24) lor (b 2 lsl 16) lor (b 1 lsl 8) lor b 0
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,132 @@
+type entry = { off : int; len : int }
+
+type t = {
+  file : string;
+  oc : out_channel;
+  ic : in_channel;
+  index : entry Cid.Tbl.t;
+  stats : Chunk_store.stats;
+  sync_every : int;
+  mutable unsynced : int;
+  mutable tail : int; (* logical end of log *)
+}
+
+(* Read one varint from [ic]; None at clean EOF. *)
+let read_varint_opt ic =
+  match input_char ic with
+  | exception End_of_file -> None
+  | c0 ->
+      let rec loop shift acc b =
+        let acc = acc lor ((b land 0x7f) lsl shift) in
+        if b land 0x80 = 0 then acc
+        else loop (shift + 7) acc (Char.code (input_char ic))
+      in
+      Some (loop 0 0 (Char.code c0))
+
+let replay t =
+  seek_in t.ic 0;
+  let continue = ref true in
+  while !continue do
+    let record_start = pos_in t.ic in
+    match read_varint_opt t.ic with
+    | None ->
+        t.tail <- record_start;
+        continue := false
+    | Some len -> (
+        let body = Bytes.create len in
+        match really_input t.ic body 0 len with
+        | exception End_of_file ->
+            (* torn tail record: ignore it *)
+            t.tail <- record_start;
+            continue := false
+        | () ->
+            let chunk = Chunk.decode (Bytes.unsafe_to_string body) in
+            let cid = Chunk.cid chunk in
+            let data_off = pos_in t.ic - len in
+            if not (Cid.Tbl.mem t.index cid) then begin
+              t.stats.chunks <- t.stats.chunks + 1;
+              t.stats.bytes <- t.stats.bytes + len
+            end;
+            Cid.Tbl.replace t.index cid { off = data_off; len };
+            t.tail <- pos_in t.ic)
+  done
+
+let open_ ?(sync_every = 512) file =
+  (* Ensure the file exists before opening the read side. *)
+  let oc0 = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 file in
+  close_out oc0;
+  let ic = open_in_gen [ Open_rdonly; Open_binary ] 0o644 file in
+  let t =
+    {
+      file;
+      oc = stdout (* replaced below, after the torn tail is dropped *);
+      ic;
+      index = Cid.Tbl.create 4096;
+      stats = Chunk_store.fresh_stats ();
+      sync_every;
+      unsynced = 0;
+      tail = 0;
+    }
+  in
+  replay t;
+  (* A crash mid-append can leave a torn record after [tail]; truncate it
+     so new appends continue from the last complete record. *)
+  if t.tail < in_channel_length t.ic then Unix.truncate file t.tail;
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 file in
+  { t with oc }
+
+let flush t = Stdlib.flush t.oc
+
+let close t =
+  flush t;
+  close_out t.oc;
+  close_in t.ic
+
+let path t = t.file
+let file_size t = t.tail
+
+let put t chunk =
+  let cid = Chunk.cid chunk in
+  t.stats.puts <- t.stats.puts + 1;
+  (if Cid.Tbl.mem t.index cid then t.stats.dedup_hits <- t.stats.dedup_hits + 1
+   else begin
+     let encoded = Chunk.encode chunk in
+     let len = String.length encoded in
+     let header = Buffer.create 4 in
+     Fbutil.Codec.varint header len;
+     let data_off = t.tail + Buffer.length header in
+     Buffer.output_buffer t.oc header;
+     output_string t.oc encoded;
+     t.tail <- data_off + len;
+     Cid.Tbl.replace t.index cid { off = data_off; len };
+     t.stats.chunks <- t.stats.chunks + 1;
+     t.stats.bytes <- t.stats.bytes + len;
+     t.unsynced <- t.unsynced + 1;
+     if t.sync_every > 0 && t.unsynced >= t.sync_every then begin
+       Stdlib.flush t.oc;
+       t.unsynced <- 0
+     end
+   end);
+  cid
+
+let get t cid =
+  t.stats.gets <- t.stats.gets + 1;
+  match Cid.Tbl.find_opt t.index cid with
+  | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      None
+  | Some { off; len } ->
+      (* The write channel may still buffer the record. *)
+      Stdlib.flush t.oc;
+      seek_in t.ic off;
+      let body = Bytes.create len in
+      really_input t.ic body 0 len;
+      Some (Chunk.decode (Bytes.unsafe_to_string body))
+
+let store t =
+  {
+    Chunk_store.put = put t;
+    get = get t;
+    mem = Cid.Tbl.mem t.index;
+    stats = (fun () -> t.stats);
+  }

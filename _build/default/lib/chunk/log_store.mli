@@ -1,0 +1,23 @@
+(** Persistent chunk storage: an append-only log file plus an in-memory
+    cid → offset index (§4.4).  Immutable chunks make a log-structured
+    layout natural and give fast retrieval of consecutively generated
+    POS-Tree chunks.
+
+    The file format is a sequence of records, each a varint length followed
+    by the serialized chunk.  Opening an existing file replays the log to
+    rebuild the index, skipping a trailing torn record if the process died
+    mid-append. *)
+
+type t
+
+val open_ : ?sync_every:int -> string -> t
+(** [open_ path] creates or re-opens the log at [path].  [sync_every]
+    fsyncs after that many appended chunks (default 512; [0] = never). *)
+
+val close : t -> unit
+val store : t -> Chunk_store.t
+(** The generic store interface backed by this log. *)
+
+val flush : t -> unit
+val path : t -> string
+val file_size : t -> int

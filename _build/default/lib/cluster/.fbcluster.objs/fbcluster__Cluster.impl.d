@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Array Fbchunk Fbtree Forkbase Partition

@@ -1,0 +1,1 @@
+lib/cluster/event_sim.mli:

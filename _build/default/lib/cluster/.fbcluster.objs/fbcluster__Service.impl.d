@@ -1,0 +1,1 @@
+lib/cluster/service.ml: Array Cluster Fbtree Fbtypes Forkbase Hashtbl Partition String

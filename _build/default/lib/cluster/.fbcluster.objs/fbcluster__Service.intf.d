@@ -1,0 +1,1 @@
+lib/cluster/service.mli: Cluster Fbchunk Fbtree Forkbase

@@ -1,0 +1,26 @@
+(** A simulated ForkBase cluster (§4.1, §4.6): [n] servlets, each co-located
+    with a local chunk storage, plus a dispatcher routing by key hash.
+
+    Partitioning modes reproduce the Figure 15 comparison:
+    - [One_layer]: all chunks of a key live on the key's servlet, so hot
+      keys unbalance storage;
+    - [Two_layer]: non-meta chunks are spread across all storages by cid,
+      while meta chunks stay local to the servlet (§4.6). *)
+
+type mode = One_layer | Two_layer
+
+type t
+
+val create : ?cfg:Fbtree.Tree_config.t -> n:int -> mode -> t
+val n : t -> int
+val mode : t -> mode
+
+val db_for_key : t -> string -> Forkbase.Db.t
+(** The servlet responsible for a key, as the dispatcher would route it. *)
+
+val servlet : t -> int -> Forkbase.Db.t
+val storage_distribution : t -> int array
+(** Stored bytes per chunk-storage node. *)
+
+val imbalance : t -> float
+(** max/mean of the storage distribution; 1.0 is perfectly balanced. *)

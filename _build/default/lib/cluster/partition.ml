@@ -1,0 +1,7 @@
+let servlet_of_key ~servlets key =
+  (* Hash the key bytes cryptographically so adversarial or structured key
+     sets still spread; the dispatcher does the same (§4.6). *)
+  let digest = Fbhash.Sha256.digest key in
+  Fbchunk.Cid.low_bits (Fbchunk.Cid.of_raw digest) mod servlets
+
+let node_of_cid ~nodes cid = Fbchunk.Cid.low_bits cid mod nodes

@@ -1,0 +1,10 @@
+(** The hash-based two-layer partitioning of §4.6:
+
+    - requests are routed to servlets by the request key's hash;
+    - chunks are routed to chunk-storage nodes by their cid.
+
+    Because cids are cryptographic hashes, the second layer spreads data
+    evenly even under severely skewed key popularity (Figure 15). *)
+
+val servlet_of_key : servlets:int -> string -> int
+val node_of_cid : nodes:int -> Fbchunk.Cid.t -> int

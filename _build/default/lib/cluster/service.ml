@@ -1,0 +1,74 @@
+module Db = Forkbase.Db
+module Value = Fbtypes.Value
+module Fblob = Fbtypes.Fblob
+
+type t = {
+  cluster : Cluster.t;
+  cfg : Fbtree.Tree_config.t;
+  rebalance : bool;
+  work : float array; (* construction bytes charged per servlet *)
+  locks : (string, unit) Hashtbl.t; (* keys with locked branch tables *)
+}
+
+let create ?(cfg = Fbtree.Tree_config.default) ?(rebalance = false) ~n mode =
+  if rebalance && mode = Cluster.One_layer then
+    invalid_arg
+      "Service.create: construction re-balancing needs the shared chunk pool \
+       (Two_layer)";
+  {
+    cluster = Cluster.create ~cfg ~n mode;
+    cfg;
+    rebalance;
+    work = Array.make n 0.0;
+    locks = Hashtbl.create 16;
+  }
+
+let cluster t = t.cluster
+
+let home_servlet t key =
+  Partition.servlet_of_key ~servlets:(Cluster.n t.cluster) key
+
+let least_loaded t =
+  let best = ref 0 in
+  Array.iteri (fun i w -> if w < t.work.(!best) then best := i) t.work;
+  !best
+
+let charge t servlet bytes =
+  t.work.(servlet) <- t.work.(servlet) +. float_of_int bytes
+
+let put_blob ?(branch = Db.default_branch) t ~key content =
+  let home = home_servlet t key in
+  let db = Cluster.servlet t.cluster home in
+  let size = String.length content in
+  if not t.rebalance then begin
+    charge t home size;
+    Ok (Db.put ~branch db ~key (Db.blob db content))
+  end
+  else begin
+    (* §4.6.1: lock the key's branch table, construct the tree on the
+       least-loaded servlet, then embed the returned cid and unlock.
+       Chunks land in the shared cid-partitioned pool either way. *)
+    let builder = least_loaded t in
+    Hashtbl.replace t.locks key ();
+    let blob =
+      Fblob.create (Forkbase.Db.store (Cluster.servlet t.cluster builder)) t.cfg
+        content
+    in
+    charge t builder size;
+    let uid = Db.put ~branch db ~key (Value.Blob blob) in
+    Hashtbl.remove t.locks key;
+    Ok uid
+  end
+
+let get_blob ?(branch = Db.default_branch) t ~key =
+  let db = Cluster.db_for_key t.cluster key in
+  match Db.get ~branch db ~key with
+  | Ok (Value.Blob b) -> Ok (Fblob.to_string b)
+  | Ok _ -> Error (Db.Unknown_key key)
+  | Error e -> Error e
+
+let fork t ~key ~from_branch ~new_branch =
+  Db.fork (Cluster.db_for_key t.cluster key) ~key ~from_branch ~new_branch
+
+let construction_work t = Array.copy t.work
+let locked_keys t = Hashtbl.fold (fun k () acc -> k :: acc) t.locks []

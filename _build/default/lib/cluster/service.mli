@@ -1,0 +1,46 @@
+(** The distributed ForkBase service (§4.1, §4.6): a request dispatcher in
+    front of servlets, each co-located with a chunk storage, plus the
+    re-balancing of POS-Tree construction described in §4.6.1.
+
+    Construction of a large object's POS-Tree is CPU-intensive.  When the
+    responsible servlet is overloaded, it locks the key's branch table,
+    hands the raw value to the least-loaded servlet, and only embeds the
+    returned root cid into the FObject and unlocks once construction
+    finishes.  This is possible because chunks are partitioned by cid (the
+    storage layer is shared), so it requires [Two_layer] mode. *)
+
+type t
+
+val create :
+  ?cfg:Fbtree.Tree_config.t ->
+  ?rebalance:bool ->
+  n:int ->
+  Cluster.mode ->
+  t
+(** [rebalance] (default [false]) enables §4.6.1 construction offloading;
+    it requires [Two_layer] mode.
+    @raise Invalid_argument for [rebalance] with [One_layer]. *)
+
+val cluster : t -> Cluster.t
+
+(** {1 Client requests (routed by key hash)} *)
+
+val put_blob :
+  ?branch:string -> t -> key:string -> string -> (Fbchunk.Cid.t, Forkbase.Db.error) result
+
+val get_blob :
+  ?branch:string -> t -> key:string -> (string, Forkbase.Db.error) result
+
+val fork :
+  t -> key:string -> from_branch:string -> new_branch:string ->
+  (unit, Forkbase.Db.error) result
+
+(** {1 Introspection} *)
+
+val construction_work : t -> float array
+(** Bytes of POS-Tree construction charged to each servlet so far. *)
+
+val locked_keys : t -> string list
+(** Keys whose branch tables are currently locked by an in-flight
+    re-balanced construction (empty outside of a request — exposed for
+    tests). *)

@@ -1,0 +1,1 @@
+lib/core/branch_table.ml: Fbchunk Hashtbl List String

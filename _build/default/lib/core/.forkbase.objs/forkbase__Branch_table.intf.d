@@ -1,0 +1,1 @@
+lib/core/branch_table.mli: Fbchunk

@@ -1,0 +1,1 @@
+lib/core/db.ml: Branch_table Diff Fbchunk Fbtree Fbtypes Fbutil Fobject Format Hashtbl History List Merge Printf String

@@ -1,0 +1,1 @@
+lib/core/db.mli: Diff Fbchunk Fbtree Fbtypes Fobject Format Merge

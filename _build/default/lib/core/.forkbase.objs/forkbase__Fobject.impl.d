@@ -1,0 +1,1 @@
+lib/core/fobject.ml: Buffer Fbchunk Fbtypes Fbutil List Option String

@@ -1,0 +1,1 @@
+lib/core/fobject.mli: Fbchunk Fbtree Fbtypes

@@ -1,0 +1,1 @@
+lib/core/gc.ml: Db Fbchunk Fbtypes Fobject List

@@ -1,0 +1,1 @@
+lib/core/history.ml: Fbchunk Fobject Int List Map Option Queue

@@ -1,0 +1,1 @@
+lib/core/merge.ml: Fbtypes Format Int64 List Map Option Printf String

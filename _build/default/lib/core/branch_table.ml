@@ -1,0 +1,48 @@
+module Cid = Fbchunk.Cid
+
+type t = {
+  tagged : (string, Cid.t) Hashtbl.t;
+  mutable untagged : Cid.Set.t;
+  mutable known : Cid.Set.t;
+      (* every uid ever recorded for this key, so repeated puts of an
+         existing version are ignored (§4.5.1) *)
+}
+
+let create () =
+  { tagged = Hashtbl.create 8; untagged = Cid.Set.empty; known = Cid.Set.empty }
+
+let head t name = Hashtbl.find_opt t.tagged name
+let set_head t name uid = Hashtbl.replace t.tagged name uid
+
+let rename t ~old_name ~new_name =
+  match (Hashtbl.find_opt t.tagged old_name, Hashtbl.mem t.tagged new_name) with
+  | Some uid, false ->
+      Hashtbl.remove t.tagged old_name;
+      Hashtbl.replace t.tagged new_name uid;
+      true
+  | _ -> false
+
+let remove t name =
+  if Hashtbl.mem t.tagged name then begin
+    Hashtbl.remove t.tagged name;
+    true
+  end
+  else false
+
+let tags t =
+  Hashtbl.fold (fun name uid acc -> (name, uid) :: acc) t.tagged []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let record_object t ~uid ~bases =
+  if not (Cid.Set.mem uid t.known) then begin
+    t.known <- Cid.Set.add uid t.known;
+    t.untagged <-
+      Cid.Set.add uid
+        (List.fold_left (fun s b -> Cid.Set.remove b s) t.untagged bases)
+  end
+
+let untagged_heads t = Cid.Set.elements t.untagged
+
+let replace_untagged t ~drop ~add =
+  t.untagged <-
+    Cid.Set.add add (List.fold_left (fun s d -> Cid.Set.remove d s) t.untagged drop)

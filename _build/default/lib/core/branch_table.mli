@@ -1,0 +1,34 @@
+(** Per-key branch table (§4.5): TB-table for tagged (named) branches and
+    UB-table for untagged branch heads created by fork-on-conflict puts.
+
+    The UB-table holds the leaves of the object derivation graph: whenever
+    a new FObject is created, its uid is added and its bases removed.  A
+    key with no conflicting concurrent puts therefore has exactly one
+    untagged head. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 TB-table (tagged branches)} *)
+
+val head : t -> string -> Fbchunk.Cid.t option
+val set_head : t -> string -> Fbchunk.Cid.t -> unit
+val rename : t -> old_name:string -> new_name:string -> bool
+(** [false] when [old_name] is unknown or [new_name] already exists. *)
+
+val remove : t -> string -> bool
+val tags : t -> (string * Fbchunk.Cid.t) list
+(** Branch name / head pairs, sorted by name (M9). *)
+
+(** {1 UB-table (untagged heads)} *)
+
+val record_object : t -> uid:Fbchunk.Cid.t -> bases:Fbchunk.Cid.t list -> unit
+(** Register a freshly created FObject (§4.5.1): adds [uid], removes any
+    of [bases] still present.  Idempotent for already-known uids. *)
+
+val untagged_heads : t -> Fbchunk.Cid.t list
+(** All untagged heads (M10); more than one means unresolved conflicts. *)
+
+val replace_untagged : t -> drop:Fbchunk.Cid.t list -> add:Fbchunk.Cid.t -> unit
+(** Used by merge (M7): logically replace the merged heads by the result. *)

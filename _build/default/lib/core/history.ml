@@ -1,0 +1,94 @@
+module Cid = Fbchunk.Cid
+module Store = Fbchunk.Chunk_store
+
+let track store ~head ~dist_range:(lo, hi) =
+  if lo < 0 || hi < lo then invalid_arg "History.track: bad distance range";
+  let seen = Cid.Tbl.create 64 in
+  let out = ref [] in
+  (* BFS so each version is reported at its minimum distance. *)
+  let queue = Queue.create () in
+  Queue.push (0, head) queue;
+  Cid.Tbl.replace seen head ();
+  while not (Queue.is_empty queue) do
+    let dist, uid = Queue.pop queue in
+    match Fobject.load store uid with
+    | None -> () (* dangling base: treat as pruned history *)
+    | Some obj ->
+        if dist >= lo && dist <= hi then out := (dist, uid, obj) :: !out;
+        if dist < hi then
+          List.iter
+            (fun base ->
+              if not (Cid.Tbl.mem seen base) then begin
+                Cid.Tbl.replace seen base ();
+                Queue.push (dist + 1, base) queue
+              end)
+            obj.Fobject.bases
+  done;
+  List.sort
+    (fun (d1, u1, _) (d2, u2, _) ->
+      match compare d1 d2 with 0 -> Cid.compare u1 u2 | c -> c)
+    (List.rev !out)
+
+module Depth_map = Map.Make (Int)
+
+(* Walk both histories in order of decreasing depth; the first version
+   reached from both sides is a deepest common ancestor. *)
+let lca store a b =
+  if Cid.equal a b then Some a
+  else begin
+    let masks = Cid.Tbl.create 64 in
+    let pq = ref Depth_map.empty in
+    let push uid mask =
+      let prev = Option.value ~default:0 (Cid.Tbl.find_opt masks uid) in
+      let merged = prev lor mask in
+      if merged <> prev then begin
+        Cid.Tbl.replace masks uid merged;
+        if prev = 0 then
+          match Fobject.load store uid with
+          | None -> ()
+          | Some obj ->
+              pq :=
+                Depth_map.update obj.Fobject.depth
+                  (fun l -> Some (uid :: Option.value ~default:[] l))
+                  !pq
+      end
+    in
+    push a 1;
+    push b 2;
+    let result = ref None in
+    while !result = None && not (Depth_map.is_empty !pq) do
+      let depth, uids = Depth_map.max_binding !pq in
+      pq := Depth_map.remove depth !pq;
+      List.iter
+        (fun uid ->
+          if !result = None then
+            match Cid.Tbl.find_opt masks uid with
+            | Some 3 -> result := Some uid
+            | _ -> (
+                match Fobject.load store uid with
+                | None -> ()
+                | Some obj ->
+                    let mask = Option.value ~default:0 (Cid.Tbl.find_opt masks uid) in
+                    List.iter (fun base -> push base mask) obj.Fobject.bases))
+        uids
+    done;
+    !result
+  end
+
+let contains store ~head target =
+  if Cid.equal head target then true
+  else begin
+    let seen = Cid.Tbl.create 64 in
+    let rec go uid =
+      Cid.equal uid target
+      ||
+      if Cid.Tbl.mem seen uid then false
+      else begin
+        Cid.Tbl.replace seen uid ();
+        match Fobject.load store uid with
+        | None -> false
+        | Some obj -> List.exists go obj.Fobject.bases
+      end
+    in
+    go head
+  end

@@ -1,0 +1,28 @@
+(** Derivation-history queries over the version DAG (§3.2, M15–M17).
+
+    All walks follow the [bases] hash chain stored in meta chunks, so every
+    answer is tamper-evident: a version can only appear in a history if it
+    hash-chains to the head the application already trusts. *)
+
+val track :
+  Fbchunk.Chunk_store.t ->
+  head:Fbchunk.Cid.t ->
+  dist_range:int * int ->
+  (int * Fbchunk.Cid.t * Fobject.t) list
+(** Versions whose minimum distance (in derivation hops) from [head] lies
+    within the inclusive range, ordered by increasing distance.  Distance 0
+    is the head itself. *)
+
+val lca :
+  Fbchunk.Chunk_store.t ->
+  Fbchunk.Cid.t ->
+  Fbchunk.Cid.t ->
+  Fbchunk.Cid.t option
+(** Least common ancestor of two versions of the same key (M17): the most
+    recent version where their histories fork.  [None] when the versions
+    share no ancestor. *)
+
+val contains :
+  Fbchunk.Chunk_store.t -> head:Fbchunk.Cid.t -> Fbchunk.Cid.t -> bool
+(** Whether a version is part of [head]'s derivation history — the check an
+    application runs to detect a storage provider tampering with history. *)

@@ -1,0 +1,42 @@
+(** Three-way merge with built-in conflict resolution (§4.5.2).
+
+    To merge two heads, the base version (their LCA) and both heads are fed
+    to a type-specific merge function.  Non-overlapping changes commute;
+    overlapping changes produce conflicts that are either resolved by a
+    built-in resolver ([Choose_left], [Choose_right], [Append],
+    [Aggregate]) or handed back to the application ([Manual], or a
+    [Custom] hook). *)
+
+type conflict = {
+  location : string;
+      (** map key, or ["@pos:<n>"] for positional types, or ["@value"] *)
+  base : string option;
+  left : string option;
+  right : string option;
+}
+
+val pp_conflict : Format.formatter -> conflict -> unit
+
+type resolver =
+  | Manual  (** report conflicts, do not resolve *)
+  | Choose_left
+  | Choose_right
+  | Append  (** concatenate both sides (strings, blobs, lists) *)
+  | Aggregate  (** numeric: base + Δleft + Δright *)
+  | Custom of (conflict -> string option)
+      (** return the resolved bytes for each conflict, or [None] to leave
+          it unresolved *)
+
+type result_ = Merged of Fbtypes.Value.t | Conflicts of conflict list
+
+val merge_values :
+  Fbchunk.Chunk_store.t ->
+  Fbtree.Tree_config.t ->
+  resolver:resolver ->
+  base:Fbtypes.Value.t option ->
+  left:Fbtypes.Value.t ->
+  right:Fbtypes.Value.t ->
+  result_
+(** [base = None] means the heads share no ancestor: equal values merge
+    trivially, anything else is a conflict.  Values of different kinds
+    never merge. *)

@@ -1,0 +1,1 @@
+lib/delta/delta_store.ml: Hashtbl List String

@@ -1,0 +1,105 @@
+type record =
+  | Snapshot of string
+  | Delta of { prefix : int; suffix : int; middle : string }
+      (* new = prev[0..prefix) ^ middle ^ prev[len-suffix..len) *)
+
+type t = {
+  versions : (string, record list ref) Hashtbl.t; (* newest first *)
+  snapshot_every : int;
+  mutable bytes : int;
+  mutable replays : int;
+}
+
+let create ?(snapshot_every = 32) () =
+  if snapshot_every < 1 then invalid_arg "Delta_store.create";
+  { versions = Hashtbl.create 64; snapshot_every; bytes = 0; replays = 0 }
+
+let record_size = function
+  | Snapshot s -> String.length s + 16
+  | Delta { middle; _ } -> String.length middle + 24
+
+(* Byte diff by trimming the common prefix and suffix. *)
+let diff prev next =
+  let np = String.length prev and nn = String.length next in
+  let p = ref 0 in
+  while !p < np && !p < nn && prev.[!p] = next.[!p] do
+    incr p
+  done;
+  let s = ref 0 in
+  while !s < np - !p && !s < nn - !p && prev.[np - 1 - !s] = next.[nn - 1 - !s] do
+    incr s
+  done;
+  Delta { prefix = !p; suffix = !s; middle = String.sub next !p (nn - !p - !s) }
+
+let apply prev = function
+  | Snapshot s -> s
+  | Delta { prefix; suffix; middle } ->
+      String.sub prev 0 prefix ^ middle
+      ^ String.sub prev (String.length prev - suffix) suffix
+
+let chain t key =
+  match Hashtbl.find_opt t.versions key with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.replace t.versions key l;
+      l
+
+(* Reconstruct version [v] (0-based) by replaying from the most recent
+   snapshot at or before it. *)
+let reconstruct t records v =
+  (* records are newest first; version of the head = List.length - 1 *)
+  let n = List.length records in
+  if v < 0 || v >= n then None
+  else begin
+    let upto = List.filteri (fun i _ -> n - 1 - i <= v) records in
+    (* [upto] is newest-first from version v down to 0; walk back to the
+       nearest snapshot, then replay forward. *)
+    let rec to_snapshot acc = function
+      | [] -> acc (* version 0 is always a snapshot, so unreachable *)
+      | (Snapshot _ as s) :: _ -> s :: acc
+      | (Delta _ as d) :: older -> to_snapshot (d :: acc) older
+    in
+    let forward = to_snapshot [] upto in
+    let value =
+      List.fold_left
+        (fun prev record ->
+          t.replays <- t.replays + 1;
+          apply prev record)
+        "" forward
+    in
+    Some value
+  end
+
+let commit t ~key value =
+  let records = chain t key in
+  let n = List.length !records in
+  let record =
+    if n = 0 || n mod t.snapshot_every = 0 then Snapshot value
+    else begin
+      match reconstruct t !records (n - 1) with
+      | Some prev -> diff prev value
+      | None -> Snapshot value
+    end
+  in
+  records := record :: !records;
+  t.bytes <- t.bytes + record_size record;
+  n
+
+let get t ~key ~version =
+  match Hashtbl.find_opt t.versions key with
+  | None -> None
+  | Some records -> reconstruct t !records version
+
+let latest t ~key =
+  match Hashtbl.find_opt t.versions key with
+  | None -> None
+  | Some records -> reconstruct t !records (List.length !records - 1)
+
+let version_count t ~key =
+  match Hashtbl.find_opt t.versions key with
+  | None -> 0
+  | Some records -> List.length !records
+
+let storage_bytes t = t.bytes
+let replay_steps t = t.replays

@@ -1,0 +1,1 @@
+lib/hash/rolling.ml: Array Bytes Char Fbutil Int64 String

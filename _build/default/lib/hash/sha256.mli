@@ -1,0 +1,21 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4).
+
+    ForkBase identifies every chunk by the SHA-256 of its bytes (§4.2.1).
+    This implementation is validated against the standard NIST test vectors
+    in the test suite. *)
+
+type ctx
+(** Incremental hashing context. *)
+
+val init : unit -> ctx
+val feed_string : ctx -> ?off:int -> ?len:int -> string -> unit
+val feed_bytes : ctx -> ?off:int -> ?len:int -> Bytes.t -> unit
+
+val finalize : ctx -> string
+(** Returns the 32-byte raw digest.  The context must not be reused. *)
+
+val digest : string -> string
+(** One-shot hash of a full string; 32-byte raw digest. *)
+
+val hex : string -> string
+(** [hex s] is the lowercase hex rendering of [digest s]. *)

@@ -1,0 +1,1 @@
+lib/lsm/bloom.ml: Bytes Char Hashtbl

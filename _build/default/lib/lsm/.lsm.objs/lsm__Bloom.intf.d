@@ -1,0 +1,1 @@
+lib/lsm/bloom.mli:

@@ -1,0 +1,1 @@
+lib/lsm/sstable.ml: Array Bloom List Seq String

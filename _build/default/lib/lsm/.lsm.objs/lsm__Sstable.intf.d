@@ -1,0 +1,1 @@
+lib/lsm/sstable.mli: Seq

@@ -1,0 +1,55 @@
+type entry = Value of string | Tombstone
+
+type t = {
+  keys : string array;
+  entries : entry array;
+  bloom : Bloom.t;
+  bytes : int;
+}
+
+let entry_size = function Value v -> String.length v | Tombstone -> 0
+
+let of_sorted kvs =
+  let n = List.length kvs in
+  if n = 0 then invalid_arg "Sstable.of_sorted: empty";
+  let keys = Array.make n "" and entries = Array.make n Tombstone in
+  let bloom = Bloom.create ~expected:n in
+  let bytes = ref 0 in
+  List.iteri
+    (fun i (k, e) ->
+      keys.(i) <- k;
+      entries.(i) <- e;
+      Bloom.add bloom k;
+      bytes := !bytes + String.length k + entry_size e + 16)
+    kvs;
+  { keys; entries; bloom; bytes = !bytes }
+
+let get t key =
+  if not (Bloom.mem t.bloom key) then None
+  else begin
+    let lo = ref 0 and hi = ref (Array.length t.keys - 1) in
+    let found = ref None in
+    while !found = None && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let c = String.compare key t.keys.(mid) in
+      if c = 0 then found := Some t.entries.(mid)
+      else if c < 0 then hi := mid - 1
+      else lo := mid + 1
+    done;
+    !found
+  end
+
+let min_key t = t.keys.(0)
+let max_key t = t.keys.(Array.length t.keys - 1)
+let length t = Array.length t.keys
+let byte_size t = t.bytes
+
+let to_seq t =
+  let n = Array.length t.keys in
+  let rec go i () =
+    if i >= n then Seq.Nil else Seq.Cons ((t.keys.(i), t.entries.(i)), go (i + 1))
+  in
+  go 0
+
+let overlaps t ~lo ~hi =
+  String.compare (min_key t) hi <= 0 && String.compare lo (max_key t) <= 0

@@ -1,0 +1,20 @@
+(** An immutable sorted run of key-value entries (one "file" of the LSM
+    tree).  Deletions are represented by tombstones so they shadow older
+    values until compaction drops them. *)
+
+type entry = Value of string | Tombstone
+
+type t
+
+val of_sorted : (string * entry) list -> t
+(** Input must be strictly sorted by key. *)
+
+val get : t -> string -> entry option
+(** Bloom-filter check, then binary search. *)
+
+val min_key : t -> string
+val max_key : t -> string
+val length : t -> int
+val byte_size : t -> int
+val to_seq : t -> (string * entry) Seq.t
+val overlaps : t -> lo:string -> hi:string -> bool

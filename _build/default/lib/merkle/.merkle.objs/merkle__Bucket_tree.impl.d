@@ -1,0 +1,1 @@
+lib/merkle/bucket_tree.ml: Array Buffer Fbhash Fbutil Hashtbl List Map String

@@ -1,0 +1,1 @@
+lib/merkle/bucket_tree.mli:

@@ -1,0 +1,1 @@
+lib/merkle/patricia_trie.ml: Array Buffer Char Fbhash Fbutil List String

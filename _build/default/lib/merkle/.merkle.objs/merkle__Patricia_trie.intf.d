@@ -1,0 +1,1 @@
+lib/merkle/patricia_trie.mli:

@@ -1,0 +1,1 @@
+lib/merkle/state_delta.mli:

@@ -1,0 +1,196 @@
+(* Nibble-keyed Merkle Patricia trie with per-node cached hashes.  Updates
+   rebuild only the root-to-leaf path (structure sharing preserves the
+   cached hashes of untouched subtrees); [commit] hashes the dirty spine. *)
+
+type cell = { mutable h : string option }
+
+type node =
+  | Empty
+  | Leaf of cell * int list * string
+  | Ext of cell * int list * node
+  | Branch of cell * node array * string option
+
+type t = {
+  mutable root : node;
+  mutable hashed_bytes : int;
+  mutable key_count : int;
+}
+
+let create () = { root = Empty; hashed_bytes = 0; key_count = 0 }
+
+let nibbles key =
+  List.concat_map
+    (fun c -> [ Char.code c lsr 4; Char.code c land 0xf ])
+    (List.of_seq (String.to_seq key))
+
+let cell () = { h = None }
+let leaf path value = Leaf (cell (), path, value)
+let ext path child = match path with [] -> child | _ -> Ext (cell (), path, child)
+let branch slots value = Branch (cell (), slots, value)
+
+let rec common_prefix a b =
+  match (a, b) with
+  | x :: a', y :: b' when x = y ->
+      let cp, ra, rb = common_prefix a' b' in
+      (x :: cp, ra, rb)
+  | _ -> ([], a, b)
+
+let rec get_node node path =
+  match (node, path) with
+  | Empty, _ -> None
+  | Leaf (_, p, v), _ -> if p = path then Some v else None
+  | Ext (_, p, child), _ ->
+      let cp, rest_ext, rest_path = common_prefix p path in
+      ignore cp;
+      if rest_ext = [] then get_node child rest_path else None
+  | Branch (_, _, v), [] -> v
+  | Branch (_, slots, _), nib :: rest -> get_node slots.(nib) rest
+
+let get t key = get_node t.root (nibbles key)
+
+let rec insert node path value =
+  match node with
+  | Empty -> leaf path value
+  | Leaf (_, p, v) ->
+      if p = path then leaf path value
+      else begin
+        let cp, rp, rpath = common_prefix p path in
+        let slots = Array.make 16 Empty in
+        let bvalue = ref None in
+        (match rp with
+        | [] -> bvalue := Some v
+        | nib :: rest -> slots.(nib) <- leaf rest v);
+        (match rpath with
+        | [] -> bvalue := Some value
+        | nib :: rest -> slots.(nib) <- leaf rest value);
+        ext cp (branch slots !bvalue)
+      end
+  | Ext (_, p, child) ->
+      let cp, rp, rpath = common_prefix p path in
+      if rp = [] then ext p (insert child rpath value)
+      else begin
+        let slots = Array.make 16 Empty in
+        let bvalue = ref None in
+        (match rp with
+        | nib :: rest -> slots.(nib) <- ext rest child
+        | [] -> assert false);
+        (match rpath with
+        | [] -> bvalue := Some value
+        | nib :: rest -> slots.(nib) <- leaf rest value);
+        ext cp (branch slots !bvalue)
+      end
+  | Branch (_, slots, v) -> (
+      match path with
+      | [] -> branch (Array.copy slots) (Some value)
+      | nib :: rest ->
+          let slots' = Array.copy slots in
+          slots'.(nib) <- insert slots.(nib) rest value;
+          branch slots' v)
+
+(* Collapse a branch that lost children back into leaf/ext form. *)
+let normalize_branch slots v =
+  let children = ref [] in
+  Array.iteri (fun i n -> if n <> Empty then children := (i, n) :: !children) slots;
+  match (!children, v) with
+  | [], None -> Empty
+  | [], Some value -> leaf [] value
+  | [ (nib, child) ], None -> (
+      match child with
+      | Leaf (_, p, value) -> leaf (nib :: p) value
+      | Ext (_, p, c) -> ext (nib :: p) c
+      | Branch _ -> ext [ nib ] child
+      | Empty -> assert false)
+  | _ -> branch slots v
+
+let rec delete node path =
+  match (node, path) with
+  | Empty, _ -> Empty
+  | Leaf (_, p, _), _ -> if p = path then Empty else node
+  | Ext (_, p, child), _ ->
+      let _, rp, rpath = common_prefix p path in
+      if rp <> [] then node
+      else begin
+        match delete child rpath with
+        | Empty -> Empty
+        | Leaf (_, lp, v) -> leaf (p @ lp) v
+        | Ext (_, ep, c) -> ext (p @ ep) c
+        | other -> ext p other
+      end
+  | Branch (_, slots, v), [] ->
+      if v = None then node else normalize_branch (Array.copy slots) None
+  | Branch (_, slots, v), nib :: rest ->
+      let slots' = Array.copy slots in
+      slots'.(nib) <- delete slots.(nib) rest;
+      normalize_branch slots' v
+
+let set t key value =
+  if get t key = None then t.key_count <- t.key_count + 1;
+  t.root <- insert t.root (nibbles key) value
+
+let remove t key =
+  if get t key <> None then begin
+    t.key_count <- t.key_count - 1;
+    t.root <- delete t.root (nibbles key)
+  end
+
+let empty_hash = Fbhash.Sha256.digest ""
+
+let rec hash_node t node =
+  match node with
+  | Empty -> empty_hash
+  | Leaf (c, p, v) -> (
+      match c.h with
+      | Some h -> h
+      | None ->
+          let buf = Buffer.create 64 in
+          Buffer.add_char buf 'L';
+          List.iter (fun nib -> Buffer.add_char buf (Char.chr nib)) p;
+          Fbutil.Codec.string buf v;
+          let bytes = Buffer.contents buf in
+          t.hashed_bytes <- t.hashed_bytes + String.length bytes;
+          let h = Fbhash.Sha256.digest bytes in
+          c.h <- Some h;
+          h)
+  | Ext (c, p, child) -> (
+      match c.h with
+      | Some h -> h
+      | None ->
+          let ch = hash_node t child in
+          let buf = Buffer.create 64 in
+          Buffer.add_char buf 'E';
+          List.iter (fun nib -> Buffer.add_char buf (Char.chr nib)) p;
+          Buffer.add_string buf ch;
+          let bytes = Buffer.contents buf in
+          t.hashed_bytes <- t.hashed_bytes + String.length bytes;
+          let h = Fbhash.Sha256.digest bytes in
+          c.h <- Some h;
+          h)
+  | Branch (c, slots, v) -> (
+      match c.h with
+      | Some h -> h
+      | None ->
+          let buf = Buffer.create 600 in
+          Buffer.add_char buf 'B';
+          Array.iter (fun child -> Buffer.add_string buf (hash_node t child)) slots;
+          (match v with
+          | None -> Buffer.add_char buf '\000'
+          | Some value ->
+              Buffer.add_char buf '\001';
+              Fbutil.Codec.string buf value);
+          let bytes = Buffer.contents buf in
+          t.hashed_bytes <- t.hashed_bytes + String.length bytes;
+          let h = Fbhash.Sha256.digest bytes in
+          c.h <- Some h;
+          h)
+
+let commit t = hash_node t t.root
+let hashed_bytes t = t.hashed_bytes
+let key_count t = t.key_count
+
+let rec depth = function
+  | Empty -> 0
+  | Leaf _ -> 1
+  | Ext (_, _, child) -> 1 + depth child
+  | Branch (_, slots, _) -> 1 + Array.fold_left (fun d n -> max d (depth n)) 0 slots
+
+let max_depth t = depth t.root

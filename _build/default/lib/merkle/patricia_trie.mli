@@ -1,0 +1,24 @@
+(** Merkle Patricia trie — Hyperledger's alternative state structure
+    (§6.2.2).
+
+    A nibble-keyed radix trie with leaf / extension / branch nodes, each
+    addressed by the hash of its serialized form.  Updates rewrite only the
+    path from root to the touched leaf (low write amplification), but the
+    structure is unbalanced: depth follows key distribution, so lookups and
+    updates can traverse long paths — why Figure 11 shows it slower than
+    ForkBase's balanced Map. *)
+
+type t
+
+val create : unit -> t
+val get : t -> string -> string option
+val set : t -> string -> string -> unit
+val remove : t -> string -> unit
+
+val commit : t -> string
+(** Recompute hashes for all nodes dirtied since the last commit and
+    return the root hash. *)
+
+val hashed_bytes : t -> int
+val key_count : t -> int
+val max_depth : t -> int

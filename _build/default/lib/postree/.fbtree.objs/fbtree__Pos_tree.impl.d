@@ -1,0 +1,1 @@
+lib/postree/pos_tree.ml: Array Buffer Fbchunk Fbhash Fbutil Lazy List Seq String Tree_config

@@ -1,0 +1,1 @@
+lib/postree/pos_tree.mli: Buffer Fbchunk Fbutil Seq Tree_config

@@ -1,0 +1,1 @@
+lib/postree/tree_config.ml: Fbhash

@@ -1,0 +1,23 @@
+type t = {
+  window : int;
+  leaf_bits : int;
+  index_bits : int;
+  min_leaf_bytes : int;
+  max_leaf_bytes : int;
+  max_index_entries : int;
+  rolling : Fbhash.Rolling.kind;
+}
+
+let with_leaf_bits q =
+  let target = 1 lsl q in
+  {
+    window = 32;
+    leaf_bits = q;
+    index_bits = 5;
+    min_leaf_bytes = max 64 (target / 4);
+    max_leaf_bytes = target * 4;
+    max_index_entries = 128;
+    rolling = Fbhash.Rolling.Cyclic_poly;
+  }
+
+let default = with_leaf_bits 12

@@ -1,0 +1,22 @@
+(** POS-Tree split-pattern configuration (§4.3).
+
+    The expected leaf size is [2^leaf_bits] bytes and the expected index
+    fanout is [2^index_bits] entries; both are enforced probabilistically by
+    the split patterns, with hard minimum / maximum bounds ([α ×] average,
+    §4.3.3) so no node grows without limit. *)
+
+type t = {
+  window : int;  (** rolling-hash window (bytes) for the leaf pattern [P] *)
+  leaf_bits : int;  (** [q]: leaf boundary when low [q] hash bits are 0 *)
+  index_bits : int;  (** [r]: index boundary when low [r] cid bits are 0 *)
+  min_leaf_bytes : int;  (** pattern checks suppressed below this size *)
+  max_leaf_bytes : int;  (** forced split above this size *)
+  max_index_entries : int;  (** forced split of an index node *)
+  rolling : Fbhash.Rolling.kind;  (** family used for [P] *)
+}
+
+val default : t
+(** 4 KB expected leaves (the paper's default), 32-entry expected fanout. *)
+
+val with_leaf_bits : int -> t
+(** [with_leaf_bits q] scales min/max bounds for a [2^q]-byte target. *)

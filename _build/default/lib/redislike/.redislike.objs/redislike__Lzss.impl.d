@@ -1,0 +1,1 @@
+lib/redislike/lzss.ml: Buffer Char Fbutil Hashtbl Option Printf String

@@ -1,0 +1,1 @@
+lib/redislike/redis.ml: Array Hashtbl Lzss String

@@ -1,0 +1,1 @@
+lib/redislike/redis.mli:

@@ -1,0 +1,101 @@
+(* Token stream: 'L' <varint len> <bytes>  |  'M' <varint offset> <varint len>.
+   Greedy matching over a 64 KB window using a last-position table keyed on
+   3-byte prefixes with short chains. *)
+
+module Codec = Fbutil.Codec
+
+let min_match = 4
+let window = 1 lsl 16
+let max_chain = 16
+
+let hash3 s i =
+  (Char.code s.[i] lsl 16) lxor (Char.code s.[i + 1] lsl 8)
+  lxor Char.code s.[i + 2]
+
+let compress input =
+  let n = String.length input in
+  let out = Buffer.create (n / 2) in
+  if n < min_match then begin
+    if n > 0 then begin
+      Buffer.add_char out 'L';
+      Codec.varint out n;
+      Buffer.add_string out input
+    end;
+    Buffer.contents out
+  end
+  else begin
+    let table = Hashtbl.create 4096 in
+    let lit_start = ref 0 in
+    let flush_literals upto =
+      if upto > !lit_start then begin
+        Buffer.add_char out 'L';
+        Codec.varint out (upto - !lit_start);
+        Buffer.add_substring out input !lit_start (upto - !lit_start)
+      end
+    in
+    let match_len i j =
+      (* length of common run between positions i (earlier) and j *)
+      let k = ref 0 in
+      while j + !k < n && input.[i + !k] = input.[j + !k] do
+        incr k
+      done;
+      !k
+    in
+    let i = ref 0 in
+    while !i < n do
+      if !i + min_match <= n then begin
+        let h = hash3 input !i in
+        let candidates = Option.value ~default:[] (Hashtbl.find_opt table h) in
+        let best_pos = ref (-1) and best_len = ref 0 in
+        let rec try_candidates count = function
+          | [] -> ()
+          | pos :: rest ->
+              if count < max_chain && pos >= !i - window then begin
+                let len = match_len pos !i in
+                if len > !best_len then begin
+                  best_len := len;
+                  best_pos := pos
+                end;
+                try_candidates (count + 1) rest
+              end
+        in
+        try_candidates 0 candidates;
+        Hashtbl.replace table h (!i :: candidates);
+        if !best_len >= min_match then begin
+          flush_literals !i;
+          Buffer.add_char out 'M';
+          Codec.varint out (!i - !best_pos);
+          Codec.varint out !best_len;
+          i := !i + !best_len;
+          lit_start := !i
+        end
+        else incr i
+      end
+      else incr i
+    done;
+    flush_literals n;
+    Buffer.contents out
+  end
+
+let decompress compressed =
+  let r = Codec.reader compressed in
+  let out = Buffer.create (String.length compressed * 2) in
+  while not (Codec.at_end r) do
+    match (Codec.read_raw r 1).[0] with
+    | 'L' ->
+        let len = Codec.read_varint r in
+        Buffer.add_string out (Codec.read_raw r len)
+    | 'M' ->
+        let offset = Codec.read_varint r in
+        let len = Codec.read_varint r in
+        let start = Buffer.length out - offset in
+        if start < 0 then raise (Codec.Corrupt "LZSS offset out of range");
+        (* Byte-by-byte: matches may overlap their own output. *)
+        for k = 0 to len - 1 do
+          Buffer.add_char out (Buffer.nth out (start + k))
+        done
+    | c -> raise (Codec.Corrupt (Printf.sprintf "invalid LZSS token %C" c))
+  done;
+  Buffer.contents out
+
+let compressed_size s = String.length (compress s)

@@ -1,0 +1,11 @@
+(** A small LZSS compressor (greedy LZ77 with a 3-byte hash chain).
+
+    The paper notes Redis compresses values during persistence (§6.3.1);
+    the Redis stand-in uses this to account persisted bytes fairly when
+    comparing storage against ForkBase's deduplication. *)
+
+val compress : string -> string
+val decompress : string -> string
+(** [decompress (compress s) = s]. *)
+
+val compressed_size : string -> int

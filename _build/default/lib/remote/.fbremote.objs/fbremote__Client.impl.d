@@ -1,0 +1,1 @@
+lib/remote/client.ml: Unix Wire

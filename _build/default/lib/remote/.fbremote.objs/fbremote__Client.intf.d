@@ -1,0 +1,1 @@
+lib/remote/client.mli: Fbchunk Wire

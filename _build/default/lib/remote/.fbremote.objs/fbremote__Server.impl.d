@@ -1,0 +1,1 @@
+lib/remote/server.ml: Fbtypes Fbutil Forkbase List Printexc Printf Unix Wire

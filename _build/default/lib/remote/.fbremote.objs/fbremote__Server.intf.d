@@ -1,0 +1,1 @@
+lib/remote/server.mli: Forkbase Unix Wire

@@ -1,0 +1,1 @@
+lib/remote/wire.ml: Buffer Bytes Char Fbchunk Fbutil Printf String Unix

@@ -1,0 +1,1 @@
+lib/remote/wire.mli: Fbchunk Unix

@@ -1,0 +1,58 @@
+type t = { fd : Unix.file_descr }
+
+let connect ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  { fd }
+
+let close t = Unix.close t.fd
+
+let call t req =
+  Wire.write_frame t.fd (Wire.encode_request req);
+  match Wire.read_frame t.fd with
+  | Some frame -> Wire.decode_response frame
+  | None -> failwith "forkbase client: server closed the connection"
+
+let expect_ok name = function
+  | Wire.Error msg -> failwith (name ^ ": " ^ msg)
+  | resp -> resp
+
+let put ?(branch = "master") ?(context = "") t ~key value =
+  match expect_ok "put" (call t (Wire.Put { key; branch; context; value })) with
+  | Wire.Uid uid -> uid
+  | _ -> failwith "put: unexpected response"
+
+let get ?(branch = "master") t ~key =
+  match expect_ok "get" (call t (Wire.Get { key; branch })) with
+  | Wire.Value v -> v
+  | _ -> failwith "get: unexpected response"
+
+let fork t ~key ~from_branch ~new_branch =
+  match expect_ok "fork" (call t (Wire.Fork { key; from_branch; new_branch })) with
+  | Wire.Ok_unit -> ()
+  | _ -> failwith "fork: unexpected response"
+
+let merge ?(resolver = "manual") t ~key ~target ~ref_branch =
+  match expect_ok "merge" (call t (Wire.Merge { key; target; ref_branch; resolver })) with
+  | Wire.Uid uid -> uid
+  | _ -> failwith "merge: unexpected response"
+
+let track ?(branch = "master") t ~key ~lo ~hi =
+  match expect_ok "track" (call t (Wire.Track { key; branch; lo; hi })) with
+  | Wire.History h -> h
+  | _ -> failwith "track: unexpected response"
+
+let list_keys t =
+  match expect_ok "list_keys" (call t Wire.List_keys) with
+  | Wire.Keys ks -> ks
+  | _ -> failwith "list_keys: unexpected response"
+
+let verify t uid =
+  match expect_ok "verify" (call t (Wire.Verify { uid })) with
+  | Wire.Bool b -> b
+  | _ -> failwith "verify: unexpected response"
+
+let quit_server t =
+  match call t Wire.Quit with
+  | Wire.Ok_unit -> ()
+  | _ -> failwith "quit: unexpected response"

@@ -1,0 +1,28 @@
+(** A blocking ForkBase network client over the {!Wire} protocol. *)
+
+type t
+
+val connect : port:int -> t
+(** Connect to a {!Server} on 127.0.0.1. *)
+
+val close : t -> unit
+val call : t -> Wire.request -> Wire.response
+(** One request/response round trip.
+    @raise Failure if the server closed the connection. *)
+
+(** Typed conveniences (raise [Failure] on an [Error] response). *)
+
+val put :
+  ?branch:string -> ?context:string -> t -> key:string -> Wire.value ->
+  Fbchunk.Cid.t
+
+val get : ?branch:string -> t -> key:string -> Wire.value
+val fork : t -> key:string -> from_branch:string -> new_branch:string -> unit
+val merge :
+  ?resolver:string -> t -> key:string -> target:string -> ref_branch:string ->
+  Fbchunk.Cid.t
+val track : ?branch:string -> t -> key:string -> lo:int -> hi:int ->
+  (int * Fbchunk.Cid.t) list
+val list_keys : t -> string list
+val verify : t -> Fbchunk.Cid.t -> bool
+val quit_server : t -> unit

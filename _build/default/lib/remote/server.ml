@@ -1,0 +1,91 @@
+module Db = Forkbase.Db
+module Value = Fbtypes.Value
+
+let listen ?(backlog = 16) ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd backlog;
+  fd
+
+let bound_port fd =
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, port) -> port
+  | Unix.ADDR_UNIX _ -> invalid_arg "Server.bound_port: not a TCP socket"
+
+let to_wire_value value =
+  match value with
+  | Value.Prim p -> Wire.Str (Fbtypes.Prim.to_string p)
+  | Value.Blob b -> Wire.Blob (Fbtypes.Fblob.to_string b)
+  | Value.List l -> Wire.List (Fbtypes.Flist.to_list l)
+  | Value.Map m -> Wire.Map (Fbtypes.Fmap.bindings m)
+  | Value.Set s -> Wire.Set (Fbtypes.Fset.elements s)
+
+let of_wire_value db = function
+  | Wire.Str s -> Db.str s
+  | Wire.Blob b -> Db.blob db b
+  | Wire.List l -> Db.list db l
+  | Wire.Map kvs -> Db.map db kvs
+  | Wire.Set ms -> Db.set db ms
+
+let resolver_of_string = function
+  | "" | "manual" -> Ok Forkbase.Merge.Manual
+  | "left" -> Ok Forkbase.Merge.Choose_left
+  | "right" -> Ok Forkbase.Merge.Choose_right
+  | "append" -> Ok Forkbase.Merge.Append
+  | "aggregate" -> Ok Forkbase.Merge.Aggregate
+  | r -> Error (Printf.sprintf "unknown resolver %S" r)
+
+let of_db_result to_resp = function
+  | Ok v -> to_resp v
+  | Error e -> Wire.Error (Db.error_to_string e)
+
+let handle db (req : Wire.request) : Wire.response =
+  match req with
+  | Wire.Put { key; branch; context; value } ->
+      Wire.Uid (Db.put ~branch ~context db ~key (of_wire_value db value))
+  | Wire.Get { key; branch } ->
+      of_db_result (fun v -> Wire.Value (to_wire_value v)) (Db.get ~branch db ~key)
+  | Wire.Get_version { uid } ->
+      of_db_result (fun v -> Wire.Value (to_wire_value v)) (Db.get_version db uid)
+  | Wire.Fork { key; from_branch; new_branch } ->
+      of_db_result (fun () -> Wire.Ok_unit) (Db.fork db ~key ~from_branch ~new_branch)
+  | Wire.Merge { key; target; ref_branch; resolver } -> (
+      match resolver_of_string resolver with
+      | Error msg -> Wire.Error msg
+      | Ok resolver ->
+          of_db_result
+            (fun uid -> Wire.Uid uid)
+            (Db.merge ~resolver db ~key ~target ~ref_:(`Branch ref_branch)))
+  | Wire.Track { key; branch; lo; hi } ->
+      of_db_result
+        (fun history -> Wire.History (List.map (fun (d, uid, _) -> (d, uid)) history))
+        (Db.track ~branch db ~key ~dist_range:(lo, hi))
+  | Wire.List_keys -> Wire.Keys (Db.list_keys db)
+  | Wire.List_branches { key } -> Wire.Branches (Db.list_tagged_branches db ~key)
+  | Wire.Verify { uid } -> Wire.Bool (Db.verify_version db uid)
+  | Wire.Quit -> Wire.Ok_unit
+
+let serve db listen_fd =
+  let quit = ref false in
+  while not !quit do
+    let conn, _peer = Unix.accept listen_fd in
+    let connected = ref true in
+    while !connected do
+      match Wire.read_frame conn with
+      | None -> connected := false
+      | Some frame ->
+          let response =
+            match Wire.decode_request frame with
+            | exception Fbutil.Codec.Corrupt msg -> Wire.Error ("bad request: " ^ msg)
+            | Wire.Quit ->
+                quit := true;
+                connected := false;
+                Wire.Ok_unit
+            | req -> ( try handle db req with e -> Wire.Error (Printexc.to_string e))
+          in
+          Wire.write_frame conn (Wire.encode_response response)
+    done;
+    Unix.close conn
+  done;
+  Unix.close listen_fd

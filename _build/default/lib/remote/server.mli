@@ -1,0 +1,19 @@
+(** A single-servlet ForkBase network server.
+
+    Listens on a TCP socket, decodes {!Wire} requests and executes them
+    against an embedded {!Forkbase.Db}.  Requests are handled one at a
+    time per connection, connections one at a time (the paper configures
+    one execution thread per servlet, §6); a {!Wire.Quit} request stops
+    the accept loop. *)
+
+val listen : ?backlog:int -> port:int -> unit -> Unix.file_descr
+(** Bind and listen on 127.0.0.1:[port]; [port] 0 picks an ephemeral one. *)
+
+val bound_port : Unix.file_descr -> int
+
+val serve : Forkbase.Db.t -> Unix.file_descr -> unit
+(** Accept loop; returns after a [Quit] request.  The listening socket is
+    closed on exit. *)
+
+val handle : Forkbase.Db.t -> Wire.request -> Wire.response
+(** The request dispatcher, exposed for tests. *)

@@ -1,0 +1,251 @@
+module Codec = Fbutil.Codec
+module Cid = Fbchunk.Cid
+
+type value =
+  | Str of string
+  | Blob of string
+  | List of string list
+  | Map of (string * string) list
+  | Set of string list
+
+type request =
+  | Put of { key : string; branch : string; context : string; value : value }
+  | Get of { key : string; branch : string }
+  | Get_version of { uid : Cid.t }
+  | Fork of { key : string; from_branch : string; new_branch : string }
+  | Merge of { key : string; target : string; ref_branch : string; resolver : string }
+  | Track of { key : string; branch : string; lo : int; hi : int }
+  | List_keys
+  | List_branches of { key : string }
+  | Verify of { uid : Cid.t }
+  | Quit
+
+type response =
+  | Uid of Cid.t
+  | Value of value
+  | Ok_unit
+  | Keys of string list
+  | Branches of (string * Cid.t) list
+  | History of (int * Cid.t) list
+  | Bool of bool
+  | Error of string
+
+let enc_cid buf cid = Codec.raw buf (Cid.to_raw cid)
+let dec_cid r = Cid.of_raw (Codec.read_raw r 32)
+
+let enc_pair buf (k, v) =
+  Codec.string buf k;
+  Codec.string buf v
+
+let dec_pair r =
+  let k = Codec.read_string r in
+  let v = Codec.read_string r in
+  (k, v)
+
+let encode_value buf = function
+  | Str s ->
+      Buffer.add_char buf 's';
+      Codec.string buf s
+  | Blob b ->
+      Buffer.add_char buf 'b';
+      Codec.string buf b
+  | List l ->
+      Buffer.add_char buf 'l';
+      Codec.list buf Codec.string l
+  | Map kvs ->
+      Buffer.add_char buf 'm';
+      Codec.list buf enc_pair kvs
+  | Set ms ->
+      Buffer.add_char buf 'e';
+      Codec.list buf Codec.string ms
+
+let decode_value r =
+  match Codec.read_byte r with
+  | 's' -> Str (Codec.read_string r)
+  | 'b' -> Blob (Codec.read_string r)
+  | 'l' -> List (Codec.read_list r Codec.read_string)
+  | 'm' -> Map (Codec.read_list r dec_pair)
+  | 'e' -> Set (Codec.read_list r Codec.read_string)
+  | c -> raise (Codec.Corrupt (Printf.sprintf "wire: bad value tag %C" c))
+
+let encode_request req =
+  let buf = Buffer.create 128 in
+  (match req with
+  | Put { key; branch; context; value } ->
+      Buffer.add_char buf 'P';
+      Codec.string buf key;
+      Codec.string buf branch;
+      Codec.string buf context;
+      encode_value buf value
+  | Get { key; branch } ->
+      Buffer.add_char buf 'G';
+      Codec.string buf key;
+      Codec.string buf branch
+  | Get_version { uid } ->
+      Buffer.add_char buf 'V';
+      enc_cid buf uid
+  | Fork { key; from_branch; new_branch } ->
+      Buffer.add_char buf 'F';
+      Codec.string buf key;
+      Codec.string buf from_branch;
+      Codec.string buf new_branch
+  | Merge { key; target; ref_branch; resolver } ->
+      Buffer.add_char buf 'M';
+      Codec.string buf key;
+      Codec.string buf target;
+      Codec.string buf ref_branch;
+      Codec.string buf resolver
+  | Track { key; branch; lo; hi } ->
+      Buffer.add_char buf 'T';
+      Codec.string buf key;
+      Codec.string buf branch;
+      Codec.varint buf lo;
+      Codec.varint buf hi
+  | List_keys -> Buffer.add_char buf 'K'
+  | List_branches { key } ->
+      Buffer.add_char buf 'B';
+      Codec.string buf key
+  | Verify { uid } ->
+      Buffer.add_char buf 'Y';
+      enc_cid buf uid
+  | Quit -> Buffer.add_char buf 'Q');
+  Buffer.contents buf
+
+let decode_request s =
+  let r = Codec.reader s in
+  let req =
+    match Codec.read_byte r with
+    | 'P' ->
+        let key = Codec.read_string r in
+        let branch = Codec.read_string r in
+        let context = Codec.read_string r in
+        let value = decode_value r in
+        Put { key; branch; context; value }
+    | 'G' ->
+        let key = Codec.read_string r in
+        let branch = Codec.read_string r in
+        Get { key; branch }
+    | 'V' -> Get_version { uid = dec_cid r }
+    | 'F' ->
+        let key = Codec.read_string r in
+        let from_branch = Codec.read_string r in
+        let new_branch = Codec.read_string r in
+        Fork { key; from_branch; new_branch }
+    | 'M' ->
+        let key = Codec.read_string r in
+        let target = Codec.read_string r in
+        let ref_branch = Codec.read_string r in
+        let resolver = Codec.read_string r in
+        Merge { key; target; ref_branch; resolver }
+    | 'T' ->
+        let key = Codec.read_string r in
+        let branch = Codec.read_string r in
+        let lo = Codec.read_varint r in
+        let hi = Codec.read_varint r in
+        Track { key; branch; lo; hi }
+    | 'K' -> List_keys
+    | 'B' -> List_branches { key = Codec.read_string r }
+    | 'Y' -> Verify { uid = dec_cid r }
+    | 'Q' -> Quit
+    | c -> raise (Codec.Corrupt (Printf.sprintf "wire: bad request tag %C" c))
+  in
+  Codec.expect_end r;
+  req
+
+let encode_response resp =
+  let buf = Buffer.create 128 in
+  (match resp with
+  | Uid uid ->
+      Buffer.add_char buf 'u';
+      enc_cid buf uid
+  | Value v ->
+      Buffer.add_char buf 'v';
+      encode_value buf v
+  | Ok_unit -> Buffer.add_char buf 'o'
+  | Keys ks ->
+      Buffer.add_char buf 'k';
+      Codec.list buf Codec.string ks
+  | Branches bs ->
+      Buffer.add_char buf 'r';
+      Codec.list buf
+        (fun buf (name, uid) ->
+          Codec.string buf name;
+          enc_cid buf uid)
+        bs
+  | History hs ->
+      Buffer.add_char buf 'h';
+      Codec.list buf
+        (fun buf (dist, uid) ->
+          Codec.varint buf dist;
+          enc_cid buf uid)
+        hs
+  | Bool b ->
+      Buffer.add_char buf 't';
+      Codec.bool buf b
+  | Error msg ->
+      Buffer.add_char buf 'x';
+      Codec.string buf msg);
+  Buffer.contents buf
+
+let decode_response s =
+  let r = Codec.reader s in
+  let resp =
+    match Codec.read_byte r with
+    | 'u' -> Uid (dec_cid r)
+    | 'v' -> Value (decode_value r)
+    | 'o' -> Ok_unit
+    | 'k' -> Keys (Codec.read_list r Codec.read_string)
+    | 'r' ->
+        Branches
+          (Codec.read_list r (fun r ->
+               let name = Codec.read_string r in
+               (name, dec_cid r)))
+    | 'h' ->
+        History
+          (Codec.read_list r (fun r ->
+               let dist = Codec.read_varint r in
+               (dist, dec_cid r)))
+    | 't' -> Bool (Codec.read_bool r)
+    | 'x' -> Error (Codec.read_string r)
+    | c -> raise (Codec.Corrupt (Printf.sprintf "wire: bad response tag %C" c))
+  in
+  Codec.expect_end r;
+  resp
+
+(* --- framing --- *)
+
+let really_write fd bytes off len =
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd bytes (off + !written) (len - !written)
+  done
+
+let really_read fd bytes off len =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    let n = Unix.read fd bytes (off + !got) (len - !got) in
+    if n = 0 then eof := true else got := !got + n
+  done;
+  not !eof
+
+let write_frame fd body =
+  let n = String.length body in
+  let frame = Bytes.create (4 + n) in
+  Bytes.set frame 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set frame 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set frame 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set frame 3 (Char.chr (n land 0xff));
+  Bytes.blit_string body 0 frame 4 n;
+  really_write fd frame 0 (4 + n)
+
+let read_frame fd =
+  let header = Bytes.create 4 in
+  if not (really_read fd header 0 4) then None
+  else begin
+    let b i = Char.code (Bytes.get header i) in
+    let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    let body = Bytes.create n in
+    if not (really_read fd body 0 n) then None
+    else Some (Bytes.unsafe_to_string body)
+  end

@@ -1,0 +1,47 @@
+(** Wire protocol for the ForkBase network service (§4.1: the engine "can
+    be used as an embedded storage or run as a distributed service").
+
+    Messages are length-prefixed (fixed 4-byte big-endian frame length)
+    followed by a {!Fbutil.Codec}-encoded body.  Values travel as
+    [(kind, content)] pairs: raw bytes for blobs/strings, separator-joined
+    element lists for List/Map/Set — the server rebuilds the chunkable
+    object locally, mirroring how a ForkBase client ships buffered updates
+    to its servlet. *)
+
+type value =
+  | Str of string
+  | Blob of string
+  | List of string list
+  | Map of (string * string) list
+  | Set of string list
+
+type request =
+  | Put of { key : string; branch : string; context : string; value : value }
+  | Get of { key : string; branch : string }
+  | Get_version of { uid : Fbchunk.Cid.t }
+  | Fork of { key : string; from_branch : string; new_branch : string }
+  | Merge of { key : string; target : string; ref_branch : string; resolver : string }
+  | Track of { key : string; branch : string; lo : int; hi : int }
+  | List_keys
+  | List_branches of { key : string }
+  | Verify of { uid : Fbchunk.Cid.t }
+  | Quit  (** shut the server down (tests and orderly teardown) *)
+
+type response =
+  | Uid of Fbchunk.Cid.t
+  | Value of value
+  | Ok_unit
+  | Keys of string list
+  | Branches of (string * Fbchunk.Cid.t) list
+  | History of (int * Fbchunk.Cid.t) list
+  | Bool of bool
+  | Error of string
+
+val encode_request : request -> string
+val decode_request : string -> request
+val encode_response : response -> string
+val decode_response : string -> response
+
+val write_frame : Unix.file_descr -> string -> unit
+val read_frame : Unix.file_descr -> string option
+(** [None] on a clean peer close. *)

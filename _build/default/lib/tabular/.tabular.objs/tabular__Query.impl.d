@@ -1,0 +1,1 @@
+lib/tabular/query.ml: Array Fbtypes Fun Hashtbl List Option String Table_col Table_row Workload

@@ -1,0 +1,1 @@
+lib/tabular/query.mli: Table_col Table_row Workload

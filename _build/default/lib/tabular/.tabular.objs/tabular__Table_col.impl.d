@@ -1,0 +1,1 @@
+lib/tabular/table_col.ml: Array Fbchunk Fbtree Fbtypes Forkbase List Option Workload

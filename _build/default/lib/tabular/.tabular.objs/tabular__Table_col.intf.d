@@ -1,0 +1,1 @@
+lib/tabular/table_col.mli: Fbchunk Fbtypes Forkbase Workload

@@ -1,0 +1,1 @@
+lib/tabular/table_row.ml: Array Fbtypes Forkbase List Option String Workload

@@ -1,0 +1,1 @@
+lib/tabular/table_row.mli: Fbchunk Forkbase Workload

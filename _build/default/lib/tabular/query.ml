@@ -1,0 +1,142 @@
+module Dataset = Workload.Dataset
+
+type pred =
+  | Eq of string * string
+  | Gt of string * int
+  | Lt of string * int
+  | Contains of string * string
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | All
+
+let rec columns_of_pred = function
+  | Eq (c, _) | Gt (c, _) | Lt (c, _) | Contains (c, _) -> [ c ]
+  | And (a, b) | Or (a, b) -> List.sort_uniq compare (columns_of_pred a @ columns_of_pred b)
+  | Not p -> columns_of_pred p
+  | All -> []
+
+let field r = function
+  | "pk" -> r.Dataset.pk
+  | "qty" -> string_of_int r.Dataset.qty
+  | "price" -> string_of_int r.Dataset.price
+  | "name" -> r.Dataset.name
+  | "address" -> r.Dataset.address
+  | "comment" -> r.Dataset.comment
+  | c -> invalid_arg ("Query: unknown column " ^ c)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else begin
+    let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+    at 0
+  end
+
+(* Evaluate against an accessor so the same engine serves whole records
+   (row layout) and projected columns (column layout). *)
+let rec eval get = function
+  | Eq (c, v) -> String.equal (get c) v
+  | Gt (c, v) -> ( match int_of_string_opt (get c) with Some x -> x > v | None -> false)
+  | Lt (c, v) -> ( match int_of_string_opt (get c) with Some x -> x < v | None -> false)
+  | Contains (c, needle) -> contains ~needle (get c)
+  | And (a, b) -> eval get a && eval get b
+  | Or (a, b) -> eval get a || eval get b
+  | Not p -> not (eval get p)
+  | All -> true
+
+let matches pred r = eval (field r) pred
+
+type agg = Count | Sum of string | Min of string | Max of string | Avg of string
+
+let finish_agg agg count sum mn mx =
+  match agg with
+  | Count -> float_of_int count
+  | Sum _ -> sum
+  | Min _ -> if count = 0 then nan else mn
+  | Max _ -> if count = 0 then nan else mx
+  | Avg _ -> if count = 0 then nan else sum /. float_of_int count
+
+let agg_column = function
+  | Count -> None
+  | Sum c | Min c | Max c | Avg c -> Some c
+
+let fold_agg agg values =
+  let count = ref 0 and sum = ref 0.0 and mn = ref infinity and mx = ref neg_infinity in
+  values (fun v ->
+      incr count;
+      match agg_column agg with
+      | None -> ()
+      | Some _ ->
+          let x = float_of_string v in
+          sum := !sum +. x;
+          if x < !mn then mn := x;
+          if x > !mx then mx := x);
+  finish_agg agg !count !sum !mn !mx
+
+(* --- row layout --- *)
+
+let select_rows table pred =
+  List.filter (matches pred) (Table_row.export table)
+
+let aggregate_rows table pred agg =
+  let col = agg_column agg in
+  fold_agg agg (fun yield ->
+      List.iter
+        (fun r ->
+          if matches pred r then
+            yield (match col with Some c -> field r c | None -> ""))
+        (Table_row.export table))
+
+let group_count_rows table pred ~by =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      if matches pred r then begin
+        let g = field r by in
+        Hashtbl.replace counts g (1 + Option.value ~default:0 (Hashtbl.find_opt counts g))
+      end)
+    (Table_row.export table);
+  List.sort compare (Hashtbl.fold (fun g c acc -> (g, c) :: acc) counts [])
+
+(* --- column layout, late materialization --- *)
+
+(* Positions matching the predicate, scanning only the referenced
+   columns. *)
+let matching_positions table pred =
+  match columns_of_pred pred with
+  | [] ->
+      (* the predicate reads no column (All / Not All …): constant result *)
+      if eval (fun _ -> "") pred then List.init (Table_col.length table) Fun.id
+      else []
+  | cols ->
+      let seqs =
+        List.map
+          (fun c ->
+            match Table_col.column table c with
+            | Some l -> (c, Array.of_seq (Fbtypes.Flist.to_seq l))
+            | None -> invalid_arg ("Query: unknown column " ^ c))
+          cols
+      in
+      let n = Table_col.length table in
+      let out = ref [] in
+      for i = n - 1 downto 0 do
+        let get c = (List.assoc c seqs).(i) in
+        if eval get pred then out := i :: !out
+      done;
+      !out
+
+let select_cols table pred =
+  List.map (Table_col.record_at table) (matching_positions table pred)
+
+let aggregate_cols table pred agg =
+  let positions = matching_positions table pred in
+  match agg_column agg with
+  | None -> float_of_int (List.length positions)
+  | Some c ->
+      let values =
+        match Table_col.column table c with
+        | Some l -> Array.of_seq (Fbtypes.Flist.to_seq l)
+        | None -> invalid_arg ("Query: unknown column " ^ c)
+      in
+      fold_agg agg (fun yield -> List.iter (fun i -> yield values.(i)) positions)

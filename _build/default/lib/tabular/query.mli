@@ -1,0 +1,39 @@
+(** A small view-layer query processor over the relational layouts — the
+    extension the paper's conclusion sketches ("it is possible to extend
+    ForkBase with richer query functionalities by adding them to the view
+    layer", §6.4.3).
+
+    Predicates are evaluated per row against the row layout, or with late
+    materialization against the column layout: only the columns a
+    predicate mentions are scanned, and full records are fetched for
+    matching positions only. *)
+
+type pred =
+  | Eq of string * string  (** column = value *)
+  | Gt of string * int  (** integer column > value *)
+  | Lt of string * int
+  | Contains of string * string  (** substring match *)
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | All
+
+val columns_of_pred : pred -> string list
+(** Column names a predicate reads (deduplicated). *)
+
+val matches : pred -> Workload.Dataset.record -> bool
+
+type agg = Count | Sum of string | Min of string | Max of string | Avg of string
+
+(** {1 Over the row layout} *)
+
+val select_rows : Table_row.t -> pred -> Workload.Dataset.record list
+val aggregate_rows : Table_row.t -> pred -> agg -> float
+
+(** {1 Over the column layout (late materialization)} *)
+
+val select_cols : Table_col.t -> pred -> Workload.Dataset.record list
+val aggregate_cols : Table_col.t -> pred -> agg -> float
+
+val group_count_rows : Table_row.t -> pred -> by:string -> (string * int) list
+(** Grouped count by column [by], for rows matching [pred]; sorted by group. *)

@@ -1,0 +1,43 @@
+module Db = Forkbase.Db
+module Value = Fbtypes.Value
+module Fmap = Fbtypes.Fmap
+module Dataset = Workload.Dataset
+
+type t = Fmap.t
+
+(* A record is serialized as its fields joined by the unit separator —
+   the Tuple-in-Map layout of §5.3. *)
+let sep = '\x1f'
+let encode_record r = String.concat (String.make 1 sep) (Dataset.fields r)
+let decode_record s = Dataset.of_fields (String.split_on_char sep s)
+
+let import db ~name records =
+  let kvs =
+    Array.to_list (Array.map (fun r -> (r.Dataset.pk, encode_record r)) records)
+  in
+  Db.put db ~key:name (Db.map db kvs)
+
+let as_table = function Ok (Value.Map m) -> Some m | _ -> None
+let load db ~name = as_table (Db.get db ~key:name)
+let load_version db uid = as_table (Db.get_version db uid)
+
+let update db ~name records =
+  let current =
+    match load db ~name with
+    | Some m -> m
+    | None -> Fmap.empty (Db.store db) (Db.cfg db)
+  in
+  let m' =
+    Fmap.set_many current
+      (List.map (fun r -> (r.Dataset.pk, encode_record r)) records)
+  in
+  Db.put db ~key:name (Value.Map m')
+
+let record t ~pk = Option.map decode_record (Fmap.find t pk)
+let cardinal = Fmap.cardinal
+
+let sum_qty t =
+  Fmap.fold (fun acc _ v -> acc + (decode_record v).Dataset.qty) 0 t
+
+let diff_count a b = List.length (Fmap.diff a b)
+let export t = List.map (fun (_, v) -> decode_record v) (Fmap.bindings t)

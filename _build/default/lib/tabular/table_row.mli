@@ -1,0 +1,26 @@
+(** Row-oriented relational layout on ForkBase (§5.3): each record is a
+    Tuple embedded in a Map keyed by its primary key.  Good for point
+    lookups and updates; analytical queries must parse whole rows. *)
+
+type t
+
+val import :
+  Forkbase.Db.t -> name:string -> Workload.Dataset.record array -> Fbchunk.Cid.t
+(** Store the dataset as a new version of key [name]; returns the uid. *)
+
+val load : Forkbase.Db.t -> name:string -> t option
+val load_version : Forkbase.Db.t -> Fbchunk.Cid.t -> t option
+
+val update :
+  Forkbase.Db.t -> name:string -> Workload.Dataset.record list -> Fbchunk.Cid.t
+(** Commit a batch of modified/new records as a new version. *)
+
+val record : t -> pk:string -> Workload.Dataset.record option
+val cardinal : t -> int
+val sum_qty : t -> int
+(** Aggregate over the [qty] field — requires parsing every row. *)
+
+val diff_count : t -> t -> int
+(** Number of records differing between two versions (POS-Tree diff). *)
+
+val export : t -> Workload.Dataset.record list

@@ -1,0 +1,1 @@
+lib/types/fblob.ml: Buffer Fbchunk Fbtree Fbutil List String

@@ -1,0 +1,1 @@
+lib/types/fblob.mli: Fbchunk Fbtree

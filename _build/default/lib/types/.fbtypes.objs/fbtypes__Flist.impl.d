@@ -1,0 +1,1 @@
+lib/types/flist.ml: Fbchunk Fbtree Fbutil

@@ -1,0 +1,1 @@
+lib/types/flist.mli: Fbchunk Fbtree Seq

@@ -1,0 +1,1 @@
+lib/types/fmap.ml: Fbchunk Fbtree Fbutil List Option Seq

@@ -1,0 +1,1 @@
+lib/types/fmap.mli: Fbchunk Fbtree Seq

@@ -1,0 +1,1 @@
+lib/types/fset.ml: Fbchunk Fbtree Fbutil List

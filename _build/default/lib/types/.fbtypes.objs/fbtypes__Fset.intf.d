@@ -1,0 +1,1 @@
+lib/types/fset.mli: Fbchunk Fbtree Seq

@@ -1,0 +1,1 @@
+lib/types/prim.ml: Buffer Fbutil Int64 List String

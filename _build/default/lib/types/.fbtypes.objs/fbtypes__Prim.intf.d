@@ -1,0 +1,1 @@
+lib/types/prim.mli: Buffer Fbutil

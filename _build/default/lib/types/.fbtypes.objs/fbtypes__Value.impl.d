@@ -1,0 +1,1 @@
+lib/types/value.ml: Buffer Fbchunk Fblob Fbutil Flist Fmap Fset Prim Printf

@@ -1,0 +1,1 @@
+lib/types/value.mli: Fbchunk Fblob Fbtree Flist Fmap Fset Prim

@@ -1,0 +1,36 @@
+(** Blob — a chunkable byte sequence stored as a POS-Tree (§3.4).
+
+    Suited to data that grows large but whose updates touch small portions
+    (documents, wiki pages, file contents): consecutive versions share all
+    untouched chunks.  All update operations return a new handle; the old
+    version remains readable. *)
+
+type t
+
+val create : Fbchunk.Chunk_store.t -> Fbtree.Tree_config.t -> string -> t
+val empty : Fbchunk.Chunk_store.t -> Fbtree.Tree_config.t -> t
+val of_root : Fbchunk.Chunk_store.t -> Fbtree.Tree_config.t -> Fbchunk.Cid.t -> t
+val root : t -> Fbchunk.Cid.t
+val length : t -> int
+val equal : t -> t -> bool
+
+val read : t -> pos:int -> len:int -> string
+(** Fetches only the chunks covering the range. *)
+
+val to_string : t -> string
+
+val append : t -> string -> t
+val insert : t -> pos:int -> string -> t
+val remove : t -> pos:int -> len:int -> t
+val overwrite : t -> pos:int -> string -> t
+(** In-place update of [String.length] bytes at [pos]. *)
+
+val splice : t -> pos:int -> del:int -> ins:string -> t
+
+val diff_region : t -> t -> ((int * int) * (int * int)) option
+(** Coarse structural diff via shared chunks; [None] when equal. *)
+
+val chunk_count : t -> int
+val height : t -> int
+val iter_chunks : t -> (Fbchunk.Cid.t -> unit) -> unit
+val verify : t -> bool

@@ -1,0 +1,63 @@
+module Codec = Fbutil.Codec
+
+type t = Str of string | Int of int64 | Tuple of string list
+
+exception Type_mismatch of string
+
+let mismatch op = raise (Type_mismatch op)
+
+let encode buf = function
+  | Str s ->
+      Buffer.add_char buf 's';
+      Codec.string buf s
+  | Int i ->
+      Buffer.add_char buf 'i';
+      Codec.int64_le buf i
+  | Tuple fields ->
+      Buffer.add_char buf 't';
+      Codec.list buf Codec.string fields
+
+let decode r =
+  match Codec.read_raw r 1 with
+  | "s" -> Str (Codec.read_string r)
+  | "i" -> Int (Codec.read_int64_le r)
+  | "t" -> Tuple (Codec.read_list r Codec.read_string)
+  | c -> raise (Codec.Corrupt ("invalid primitive tag " ^ c))
+
+let to_string = function
+  | Str s -> s
+  | Int i -> Int64.to_string i
+  | Tuple fields -> "(" ^ String.concat ", " fields ^ ")"
+
+let equal a b =
+  match (a, b) with
+  | Str x, Str y -> String.equal x y
+  | Int x, Int y -> Int64.equal x y
+  | Tuple x, Tuple y -> List.equal String.equal x y
+  | (Str _ | Int _ | Tuple _), _ -> false
+
+let append t x =
+  match t with
+  | Str s -> Str (s ^ x)
+  | Tuple fields -> Tuple (fields @ [ x ])
+  | Int _ -> mismatch "append on Int"
+
+let insert t i x =
+  match t with
+  | Str s ->
+      if i < 0 || i > String.length s then invalid_arg "Prim.insert: offset";
+      Str (String.sub s 0 i ^ x ^ String.sub s i (String.length s - i))
+  | Tuple fields ->
+      if i < 0 || i > List.length fields then invalid_arg "Prim.insert: position";
+      let before = List.filteri (fun j _ -> j < i) fields in
+      let after = List.filteri (fun j _ -> j >= i) fields in
+      Tuple (before @ (x :: after))
+  | Int _ -> mismatch "insert on Int"
+
+let add t x =
+  match t with Int i -> Int (Int64.add i x) | Str _ | Tuple _ -> mismatch "add"
+
+let multiply t x =
+  match t with
+  | Int i -> Int (Int64.mul i x)
+  | Str _ | Tuple _ -> mismatch "multiply"

@@ -1,0 +1,34 @@
+(** Primitive values (§3.4): small objects optimized for fast access.
+
+    Primitives are embedded directly in the FObject's meta chunk and are
+    not deduplicated — the benefit of sharing small data does not offset
+    the chunking overhead.  Type-specific update operations mirror the
+    paper: [Append]/[Insert] for strings and tuples, [Add]/[Multiply] for
+    numerics. *)
+
+type t =
+  | Str of string
+  | Int of int64
+  | Tuple of string list
+
+val encode : Buffer.t -> t -> unit
+val decode : Fbutil.Codec.reader -> t
+val to_string : t -> string
+(** Human-readable rendering. *)
+
+val equal : t -> t -> bool
+
+exception Type_mismatch of string
+(** Raised when an operation is applied to the wrong primitive type. *)
+
+(** {1 String / Tuple operations} *)
+
+val append : t -> string -> t
+val insert : t -> int -> string -> t
+(** For [Str], [insert s i x] inserts at byte offset [i]; for [Tuple], at
+    field position [i]. *)
+
+(** {1 Numeric operations} *)
+
+val add : t -> int64 -> t
+val multiply : t -> int64 -> t

@@ -1,0 +1,77 @@
+module Cid = Fbchunk.Cid
+
+type kind = Kprim | Kblob | Klist | Kmap | Kset
+
+type t =
+  | Prim of Prim.t
+  | Blob of Fblob.t
+  | List of Flist.t
+  | Map of Fmap.t
+  | Set of Fset.t
+
+let kind = function
+  | Prim _ -> Kprim
+  | Blob _ -> Kblob
+  | List _ -> Klist
+  | Map _ -> Kmap
+  | Set _ -> Kset
+
+let kind_to_string = function
+  | Kprim -> "primitive"
+  | Kblob -> "blob"
+  | Klist -> "list"
+  | Kmap -> "map"
+  | Kset -> "set"
+
+let kind_to_byte = function
+  | Kprim -> 'p'
+  | Kblob -> 'b'
+  | Klist -> 'l'
+  | Kmap -> 'm'
+  | Kset -> 's'
+
+let kind_of_byte = function
+  | 'p' -> Kprim
+  | 'b' -> Kblob
+  | 'l' -> Klist
+  | 'm' -> Kmap
+  | 's' -> Kset
+  | c -> raise (Fbutil.Codec.Corrupt (Printf.sprintf "invalid value kind %C" c))
+
+let payload = function
+  | Prim p ->
+      let buf = Buffer.create 32 in
+      Prim.encode buf p;
+      Buffer.contents buf
+  | Blob b -> Cid.to_raw (Fblob.root b)
+  | List l -> Cid.to_raw (Flist.root l)
+  | Map m -> Cid.to_raw (Fmap.root m)
+  | Set s -> Cid.to_raw (Fset.root s)
+
+let of_payload store cfg k payload =
+  match k with
+  | Kprim ->
+      let r = Fbutil.Codec.reader payload in
+      let p = Prim.decode r in
+      Fbutil.Codec.expect_end r;
+      Prim p
+  | Kblob -> Blob (Fblob.of_root store cfg (Cid.of_raw payload))
+  | Klist -> List (Flist.of_root store cfg (Cid.of_raw payload))
+  | Kmap -> Map (Fmap.of_root store cfg (Cid.of_raw payload))
+  | Kset -> Set (Fset.of_root store cfg (Cid.of_raw payload))
+
+let equal a b =
+  match (a, b) with
+  | Prim x, Prim y -> Prim.equal x y
+  | Blob x, Blob y -> Fblob.equal x y
+  | List x, List y -> Flist.equal x y
+  | Map x, Map y -> Fmap.equal x y
+  | Set x, Set y -> Fset.equal x y
+  | (Prim _ | Blob _ | List _ | Map _ | Set _), _ -> false
+
+let describe = function
+  | Prim p -> "prim:" ^ Prim.to_string p
+  | Blob b -> Printf.sprintf "blob<%d bytes>" (Fblob.length b)
+  | List l -> Printf.sprintf "list<%d elems>" (Flist.length l)
+  | Map m -> Printf.sprintf "map<%d keys>" (Fmap.cardinal m)
+  | Set s -> Printf.sprintf "set<%d members>" (Fset.cardinal s)

@@ -1,0 +1,37 @@
+(** Values — the tagged union of all ForkBase data types (§3.4).
+
+    A primitive value is embedded verbatim in its FObject's meta chunk; a
+    chunkable value's meta chunk holds only the root cid of its POS-Tree,
+    so updating a large object only changes one cid in the FObject. *)
+
+type kind = Kprim | Kblob | Klist | Kmap | Kset
+
+type t =
+  | Prim of Prim.t
+  | Blob of Fblob.t
+  | List of Flist.t
+  | Map of Fmap.t
+  | Set of Fset.t
+
+val kind : t -> kind
+val kind_to_string : kind -> string
+val kind_to_byte : kind -> char
+val kind_of_byte : char -> kind
+(** @raise Fbutil.Codec.Corrupt on an unknown kind byte. *)
+
+val payload : t -> string
+(** The bytes stored in the FObject's [data] field: the encoded primitive,
+    or the raw 32-byte root cid for chunkable types. *)
+
+val of_payload :
+  Fbchunk.Chunk_store.t -> Fbtree.Tree_config.t -> kind -> string -> t
+(** Reconstruct a value handle from a meta-chunk payload.  Chunkable
+    handles are lazy: only the tree skeleton is loaded, leaf data is
+    fetched on demand (§3.4: "the read operation returns only a handler"). *)
+
+val equal : t -> t -> bool
+(** Content equality: primitive comparison, or O(1) root-cid comparison
+    for chunkable types. *)
+
+val describe : t -> string
+(** One-line summary for CLIs and logs. *)

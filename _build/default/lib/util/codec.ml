@@ -1,0 +1,95 @@
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+let rec varint buf n =
+  if n < 0 then invalid_arg "Codec.varint: negative"
+  else if n < 0x80 then Buffer.add_char buf (Char.chr n)
+  else begin
+    Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+    varint buf (n lsr 7)
+  end
+
+let int64_le buf x =
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical x (8 * i)) 0xFFL)))
+  done
+
+let string buf s =
+  varint buf (String.length s);
+  Buffer.add_string buf s
+
+let raw buf s = Buffer.add_string buf s
+
+let bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+let list buf enc xs =
+  varint buf (List.length xs);
+  List.iter (enc buf) xs
+
+let option buf enc = function
+  | None -> bool buf false
+  | Some x -> bool buf true; enc buf x
+
+type reader = { src : string; mutable pos : int }
+
+let reader ?(pos = 0) src = { src; pos }
+let pos r = r.pos
+let at_end r = r.pos >= String.length r.src
+
+let byte r =
+  if r.pos >= String.length r.src then corrupt "unexpected end of input at %d" r.pos;
+  let c = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let read_byte r =
+  if r.pos >= String.length r.src then corrupt "unexpected end of input at %d" r.pos;
+  let c = String.unsafe_get r.src r.pos in
+  r.pos <- r.pos + 1;
+  c
+
+let read_varint r =
+  let rec go shift acc =
+    let b = byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc
+    else if shift > 56 then corrupt "varint too long"
+    else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_int64_le r =
+  let x = ref 0L in
+  for i = 0 to 7 do
+    x := Int64.logor !x (Int64.shift_left (Int64.of_int (byte r)) (8 * i))
+  done;
+  !x
+
+let read_raw r n =
+  if n < 0 || r.pos + n > String.length r.src then
+    corrupt "raw read of %d bytes overruns input (pos %d, len %d)" n r.pos
+      (String.length r.src);
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let read_string r =
+  let n = read_varint r in
+  read_raw r n
+
+let read_bool r =
+  match byte r with
+  | 0 -> false
+  | 1 -> true
+  | b -> corrupt "invalid bool byte %d" b
+
+let read_list r dec =
+  let n = read_varint r in
+  List.init n (fun _ -> dec r)
+
+let read_option r dec = if read_bool r then Some (dec r) else None
+
+let expect_end r =
+  if not (at_end r) then corrupt "trailing garbage at %d" r.pos

@@ -1,0 +1,47 @@
+(** Binary encoding/decoding helpers shared by all serialized structures.
+
+    All multi-byte integers use LEB128-style unsigned varints so encodings
+    are compact and platform independent.  Strings are length-prefixed.
+    Decoding failures raise {!Corrupt}. *)
+
+exception Corrupt of string
+
+(** {1 Writing} *)
+
+val varint : Buffer.t -> int -> unit
+(** [varint buf n] appends the unsigned LEB128 encoding of [n >= 0]. *)
+
+val int64_le : Buffer.t -> int64 -> unit
+(** Fixed 8-byte little-endian. *)
+
+val string : Buffer.t -> string -> unit
+(** Varint length prefix followed by the raw bytes. *)
+
+val raw : Buffer.t -> string -> unit
+(** Raw bytes, no prefix. *)
+
+val bool : Buffer.t -> bool -> unit
+
+val list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+(** Varint count followed by each element. *)
+
+val option : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a option -> unit
+
+(** {1 Reading} *)
+
+type reader
+(** A cursor over an immutable string. *)
+
+val reader : ?pos:int -> string -> reader
+val pos : reader -> int
+val at_end : reader -> bool
+val read_varint : reader -> int
+val read_int64_le : reader -> int64
+val read_string : reader -> string
+val read_raw : reader -> int -> string
+val read_byte : reader -> char
+val read_bool : reader -> bool
+val read_list : reader -> (reader -> 'a) -> 'a list
+val read_option : reader -> (reader -> 'a) -> 'a option
+val expect_end : reader -> unit
+(** Raises {!Corrupt} if any input remains. *)

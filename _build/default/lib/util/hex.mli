@@ -1,0 +1,8 @@
+(** Hexadecimal encoding of raw byte strings. *)
+
+val encode : string -> string
+(** Lowercase hex; output is twice the input length. *)
+
+val decode : string -> string
+(** Inverse of {!encode}; accepts upper or lower case.
+    @raise Invalid_argument on odd length or non-hex characters. *)

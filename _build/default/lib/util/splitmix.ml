@@ -1,0 +1,30 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  (* Rejection-free modulo is fine here: bias is negligible for bounds far
+     below 2^62 and workloads only need statistical uniformity. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let float t =
+  (* 53 high bits -> [0,1) *)
+  Int64.to_float (Int64.shift_right_logical (next t) 11) *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let bytes t n =
+  String.init n (fun _ -> Char.chr (int t 256))
+
+let alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+let alphanum t n = String.init n (fun _ -> alphabet.[int t 36])

@@ -1,0 +1,29 @@
+(** SplitMix64 — a tiny, fast, deterministic PRNG (Steele et al., OOPSLA'14).
+
+    Used everywhere randomness is needed (workload generation, hash tables
+    for the rolling hash) so that every experiment in the repository is
+    exactly reproducible from a seed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns an independent generator. *)
+
+val copy : t -> t
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound > 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val bytes : t -> int -> string
+(** [bytes t n] is a string of [n] uniform random bytes. *)
+
+val alphanum : t -> int -> string
+(** [alphanum t n] is an [n]-character string drawn from [\[a-z0-9\]]. *)

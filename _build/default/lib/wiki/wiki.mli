@@ -1,0 +1,43 @@
+(** Multi-versioned wiki engines (§5.2, §6.3) behind one interface, so the
+    benchmarks drive ForkBase and the Redis baseline identically.
+
+    Each page maps to a key; saving an edit appends a new version.  The
+    ForkBase engine stores pages as Blob objects on the default branch
+    (dedup across versions, diff via the POS-Tree); the Redis engine stores
+    each version as a full copy in a list. *)
+
+type engine = {
+  name : string;
+  save : page:string -> content:string -> unit;
+  read_latest : page:string -> string option;
+  read_back : page:string -> back:int -> string option;
+      (** the version [back] edits before the latest; [back = 0] is the
+          latest *)
+  version_count : page:string -> int;
+  diff_size : page:string -> back:int -> int option;
+      (** size (bytes/elements) of the differing region between the latest
+          and an older version *)
+  storage_bytes : unit -> int;
+  net_read_bytes : unit -> int;
+      (** payload bytes pulled from the server store, after any client
+          cache (models network transfer for Figure 14) *)
+}
+
+type server
+(** A ForkBase wiki servlet: branch tables plus the server chunk store.
+    Several clients (each with its own cache) can attach to one server. *)
+
+val forkbase_server : ?cfg:Fbtree.Tree_config.t -> Fbchunk.Chunk_store.t -> server
+
+val forkbase_client : ?client_cache:int -> server -> engine
+(** [client_cache] is the number of chunks this client keeps (0 disables
+    caching); reads served from the cache do not count as network bytes. *)
+
+val forkbase_engine :
+  ?cfg:Fbtree.Tree_config.t ->
+  ?client_cache:int ->
+  Fbchunk.Chunk_store.t ->
+  engine
+(** Convenience: a fresh server with a single attached client. *)
+
+val redis_engine : Redislike.Redis.t -> engine

@@ -1,0 +1,1 @@
+lib/workload/dataset.ml: Array Fbutil List Printf String

@@ -1,0 +1,1 @@
+lib/workload/text_edit.ml: Array Buffer Fbutil String

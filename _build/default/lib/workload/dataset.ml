@@ -1,0 +1,58 @@
+type record = {
+  pk : string;
+  qty : int;
+  price : int;
+  name : string;
+  address : string;
+  comment : string;
+}
+
+let columns = [ "pk"; "qty"; "price"; "name"; "address"; "comment" ]
+
+let streets =
+  [| "Main St"; "Science Dr"; "Computing Ave"; "Kent Ridge Rd"; "Clementi Way" |]
+
+let gen_one rng i =
+  let pk = Printf.sprintf "PK%010d" i in
+  {
+    pk;
+    qty = Fbutil.Splitmix.int rng 1000;
+    price = Fbutil.Splitmix.int rng 100000;
+    name = "customer-" ^ Fbutil.Splitmix.alphanum rng 12;
+    address =
+      Printf.sprintf "%d %s, unit %02d"
+        (Fbutil.Splitmix.int rng 999)
+        streets.(Fbutil.Splitmix.int rng (Array.length streets))
+        (Fbutil.Splitmix.int rng 99);
+    comment = Fbutil.Splitmix.alphanum rng (60 + Fbutil.Splitmix.int rng 40);
+  }
+
+let generate ~seed ~n =
+  let rng = Fbutil.Splitmix.create seed in
+  Array.init n (fun i -> gen_one rng i)
+
+let fields r =
+  [ r.pk; string_of_int r.qty; string_of_int r.price; r.name; r.address; r.comment ]
+
+let of_fields = function
+  | [ pk; qty; price; name; address; comment ] ->
+      {
+        pk;
+        qty = int_of_string qty;
+        price = int_of_string price;
+        name;
+        address;
+        comment;
+      }
+  | fs -> invalid_arg (Printf.sprintf "Dataset.of_fields: %d fields" (List.length fs))
+
+let to_csv_row r = String.concat "|" (fields r)
+let of_csv_row s = of_fields (String.split_on_char '|' s)
+
+let mutate rng r =
+  {
+    r with
+    qty = Fbutil.Splitmix.int rng 1000;
+    price = Fbutil.Splitmix.int rng 100000;
+    comment = Fbutil.Splitmix.alphanum rng (60 + Fbutil.Splitmix.int rng 40);
+  }

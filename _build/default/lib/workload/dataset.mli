@@ -1,0 +1,26 @@
+(** Synthetic relational dataset matching the collaborative-analytics
+    evaluation (§6.4): ~180-byte records with a 12-byte primary key, two
+    integer fields, and variable-length text fields. *)
+
+type record = {
+  pk : string;  (** 12-byte primary key *)
+  qty : int;  (** integer field *)
+  price : int;  (** integer field *)
+  name : string;
+  address : string;
+  comment : string;
+}
+
+val columns : string list
+(** Column names, primary key first. *)
+
+val generate : seed:int64 -> n:int -> record array
+val to_csv_row : record -> string
+val of_csv_row : string -> record
+val fields : record -> string list
+(** Field values in {!columns} order. *)
+
+val of_fields : string list -> record
+
+val mutate : Fbutil.Splitmix.t -> record -> record
+(** A plausible in-place record update (changes qty/price/comment). *)

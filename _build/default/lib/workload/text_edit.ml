@@ -1,0 +1,41 @@
+type edit = Overwrite of int * string | Insert of int * string
+
+let words =
+  [|
+    "the"; "quick"; "storage"; "engine"; "fork"; "merge"; "chunk"; "index";
+    "version"; "branch"; "ledger"; "tamper"; "evident"; "tree"; "pattern";
+    "split"; "wiki"; "page"; "data"; "analytics";
+  |]
+
+let pseudo_text rng size =
+  (* Mix dictionary words with random tokens so the text compresses about
+     like real prose (~1.5-2x), not like a 20-word loop. *)
+  let buf = Buffer.create (size + 16) in
+  while Buffer.length buf < size do
+    if Fbutil.Splitmix.int rng 3 = 0 then
+      Buffer.add_string buf words.(Fbutil.Splitmix.int rng (Array.length words))
+    else
+      Buffer.add_string buf
+        (Fbutil.Splitmix.alphanum rng (3 + Fbutil.Splitmix.int rng 8));
+    Buffer.add_char buf ' '
+  done;
+  String.sub (Buffer.contents buf) 0 size
+
+let initial_page ~seed ~size = pseudo_text (Fbutil.Splitmix.create seed) size
+
+let random_edit rng ~page_len ~update_ratio ~edit_size =
+  let text = pseudo_text rng edit_size in
+  let pos = if page_len = 0 then 0 else Fbutil.Splitmix.int rng page_len in
+  if Fbutil.Splitmix.float rng < update_ratio then
+    let pos = min pos (max 0 (page_len - edit_size)) in
+    Overwrite (pos, text)
+  else Insert (pos, text)
+
+let apply page = function
+  | Overwrite (pos, text) ->
+      let n = String.length page in
+      let len = min (String.length text) (n - pos) in
+      String.sub page 0 pos ^ String.sub text 0 len
+      ^ String.sub page (pos + len) (n - pos - len)
+  | Insert (pos, text) ->
+      String.sub page 0 pos ^ text ^ String.sub page pos (String.length page - pos)

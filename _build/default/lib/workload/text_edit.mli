@@ -1,0 +1,16 @@
+(** Wiki-style page editing workload (§6.3): each request loads a page,
+    edits it, and writes back a new version.  The [update_ratio] (the
+    paper's 100U / 90U / 80U knob) controls the fraction of in-place
+    overwrites versus insertions — insertions shift content and therefore
+    stress content-defined chunking harder. *)
+
+type edit = Overwrite of int * string | Insert of int * string
+
+val initial_page : seed:int64 -> size:int -> string
+(** Deterministic pseudo-text of [size] bytes. *)
+
+val random_edit :
+  Fbutil.Splitmix.t -> page_len:int -> update_ratio:float -> edit_size:int -> edit
+
+val apply : string -> edit -> string
+(** Reference (string) semantics of an edit, for models and baselines. *)

@@ -1,0 +1,39 @@
+type op = Read of string | Update of string * string
+
+type config = {
+  num_keys : int;
+  read_ratio : float;
+  value_size : int;
+  theta : float;
+  seed : int64;
+}
+
+let default =
+  { num_keys = 1024; read_ratio = 0.5; value_size = 100; theta = 0.0; seed = 1L }
+
+type t = { cfg : config; rng : Fbutil.Splitmix.t; zipf : Zipf.t option }
+
+let create cfg =
+  {
+    cfg;
+    rng = Fbutil.Splitmix.create cfg.seed;
+    zipf = (if cfg.theta > 0.0 then Some (Zipf.create ~n:cfg.num_keys ~theta:cfg.theta) else None);
+  }
+
+let key_of i = Printf.sprintf "user%010d" i
+
+let pick_key t =
+  match t.zipf with
+  | Some z -> key_of (Zipf.sample z t.rng)
+  | None -> key_of (Fbutil.Splitmix.int t.rng t.cfg.num_keys)
+
+let value t = Fbutil.Splitmix.alphanum t.rng t.cfg.value_size
+
+let next t =
+  if Fbutil.Splitmix.float t.rng < t.cfg.read_ratio then Read (pick_key t)
+  else Update (pick_key t, value t)
+
+let ops t n = List.init n (fun _ -> next t)
+
+let initial_load t =
+  List.init t.cfg.num_keys (fun i -> (key_of i, value t))

@@ -1,0 +1,23 @@
+(** YCSB-style key-value workloads (§6.2: "Transactions for this contract
+    are generated based on YCSB workloads"). *)
+
+type op = Read of string | Update of string * string
+
+type config = {
+  num_keys : int;
+  read_ratio : float;  (** fraction of reads; rest are updates *)
+  value_size : int;
+  theta : float;  (** request skew; 0.0 = uniform *)
+  seed : int64;
+}
+
+val default : config
+
+type t
+
+val create : config -> t
+val key_of : int -> string
+val next : t -> op
+val ops : t -> int -> op list
+val initial_load : t -> (string * string) list
+(** One value per key, for pre-populating a store. *)

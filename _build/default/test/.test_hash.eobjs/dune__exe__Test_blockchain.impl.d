@@ -1,0 +1,1 @@
+test/test_blockchain.ml: Alcotest Array Blockchain Fbchunk Fbutil Forkbase List Lsm Printf String

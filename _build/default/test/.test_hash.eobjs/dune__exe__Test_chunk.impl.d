@@ -1,0 +1,1 @@
+test/test_chunk.ml: Alcotest Fbchunk Fbutil Filename Fun List Printf QCheck QCheck_alcotest String Sys Unix

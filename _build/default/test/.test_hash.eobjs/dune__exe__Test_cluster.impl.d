@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Char Fbchunk Fbcluster Fbtypes Fbutil Forkbase List Printf String Workload

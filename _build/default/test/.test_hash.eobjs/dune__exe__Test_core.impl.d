@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Fbchunk Fbtypes Filename Forkbase Gen List Printf QCheck QCheck_alcotest Set String Sys

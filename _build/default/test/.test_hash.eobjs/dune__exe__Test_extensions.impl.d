@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Char Deltastore Fbchunk Fbcluster Fbtree Fbtypes Fbutil Forkbase Gen List Printf QCheck QCheck_alcotest String Workload

@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Bytes Char Fbhash Fbutil List Printf QCheck QCheck_alcotest String

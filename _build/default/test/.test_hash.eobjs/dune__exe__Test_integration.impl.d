@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Blockchain Fbchunk Fbtypes Fbutil Forkbase List Option Printf Tabular Wiki Workload

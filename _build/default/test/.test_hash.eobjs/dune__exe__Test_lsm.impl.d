@@ -1,0 +1,1 @@
+test/test_lsm.ml: Alcotest Fun Gen Hashtbl List Lsm Printf QCheck QCheck_alcotest String

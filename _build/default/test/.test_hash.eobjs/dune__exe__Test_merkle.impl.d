@@ -1,0 +1,1 @@
+test/test_merkle.ml: Alcotest Fun Gen Hashtbl List Merkle Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_postree.ml: Alcotest Array Fbchunk Fbtree Fbutil Gen List Map Printf QCheck QCheck_alcotest String

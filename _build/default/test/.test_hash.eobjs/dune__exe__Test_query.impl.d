@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Fbchunk Fbtypes Float Forkbase List Option String Tabular Workload

@@ -1,0 +1,1 @@
+test/test_remote.ml: Alcotest Fbchunk Fbremote Forkbase Fun List QCheck QCheck_alcotest Unix

@@ -1,0 +1,1 @@
+test/test_tabular.ml: Alcotest Array Fbchunk Fbutil Forkbase Option Orpheus Printf String Tabular Workload

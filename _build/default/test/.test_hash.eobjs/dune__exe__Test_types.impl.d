@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Buffer Char Fbchunk Fbtree Fbtypes Fbutil List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Buffer Fbutil QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_wiki.ml: Alcotest Fbchunk Fbutil List Printf QCheck QCheck_alcotest Redislike String Wiki Workload

@@ -1,0 +1,296 @@
+(* Blockchain platform: all three backends must agree on state semantics;
+   chain integrity; scan queries. *)
+
+module B = Blockchain
+module Store = Fbchunk.Chunk_store
+
+let forkbase () = B.Backend_forkbase.create (Store.mem_store ())
+let rocksdb () = B.Kv_state.create (B.Kv_state.lsm_kv (Lsm.Lsm_store.create ()))
+
+let forkbase_kv () =
+  B.Kv_state.create (B.Kv_state.forkbase_kv (Forkbase.Db.create (Store.mem_store ())))
+
+let backends () =
+  [ ("forkbase", forkbase ()); ("rocksdb", rocksdb ()); ("forkbase-kv", forkbase_kv ()) ]
+
+let tx ?(contract = "kv") op = { B.Transaction.contract; op }
+
+let test_read_write_commit () =
+  List.iter
+    (fun (name, be) ->
+      let chain = B.Chain.create ~block_size:4 be in
+      B.Chain.run chain
+        [
+          tx (B.Transaction.Put ("k1", "v1"));
+          tx (B.Transaction.Put ("k2", "v2"));
+          tx (B.Transaction.Get "k1");
+          tx (B.Transaction.Put ("k1", "v1b"));
+        ];
+      (* block committed after 4 txns *)
+      Alcotest.(check int) (name ^ " height") 1 (B.Chain.height chain);
+      Alcotest.(check (option string))
+        (name ^ " read k1")
+        (Some "v1b")
+        (be.B.Backend.read ~contract:"kv" ~key:"k1");
+      Alcotest.(check (option string))
+        (name ^ " read k2")
+        (Some "v2")
+        (be.B.Backend.read ~contract:"kv" ~key:"k2"))
+    (backends ())
+
+let test_writes_visible_after_commit_only () =
+  List.iter
+    (fun (name, be) ->
+      let chain = B.Chain.create ~block_size:10 be in
+      B.Chain.submit chain (tx (B.Transaction.Put ("pending", "x")));
+      Alcotest.(check (option string))
+        (name ^ " buffered write invisible") None
+        (be.B.Backend.read ~contract:"kv" ~key:"pending");
+      B.Chain.flush chain;
+      Alcotest.(check (option string))
+        (name ^ " visible after commit") (Some "x")
+        (be.B.Backend.read ~contract:"kv" ~key:"pending"))
+    (backends ())
+
+let test_chain_integrity () =
+  List.iter
+    (fun (name, be) ->
+      let chain = B.Chain.create ~block_size:5 be in
+      for i = 0 to 49 do
+        B.Chain.submit chain
+          (tx (B.Transaction.Put (Printf.sprintf "k%d" (i mod 7), Printf.sprintf "v%d" i)))
+      done;
+      B.Chain.flush chain;
+      Alcotest.(check int) (name ^ " height") 10 (B.Chain.height chain);
+      Alcotest.(check bool) (name ^ " chain verifies") true (B.Chain.verify_chain chain))
+    (backends ())
+
+let test_state_roots_change () =
+  List.iter
+    (fun (name, be) ->
+      let chain = B.Chain.create ~block_size:1 be in
+      B.Chain.run chain [ tx (B.Transaction.Put ("k", "v1")) ];
+      B.Chain.run chain [ tx (B.Transaction.Put ("k", "v2")) ];
+      match B.Chain.blocks chain with
+      | [ b1; b2 ] ->
+          Alcotest.(check bool)
+            (name ^ " state roots differ") false
+            (String.equal b1.B.Block.state_root b2.B.Block.state_root)
+      | _ -> Alcotest.fail "expected 2 blocks")
+    (backends ())
+
+let run_history_workload be =
+  let chain = B.Chain.create ~block_size:2 be in
+  (* key "a": v1 @ block1, v3 @ block2;  key "b": v2 @ block1 *)
+  B.Chain.run chain
+    [
+      tx (B.Transaction.Put ("a", "v1"));
+      tx (B.Transaction.Put ("b", "v2"));
+      tx (B.Transaction.Put ("a", "v3"));
+      tx (B.Transaction.Put ("c", "v4"));
+    ];
+  chain
+
+let test_state_scan () =
+  List.iter
+    (fun (name, be) ->
+      let (_ : B.Chain.t) = run_history_workload be in
+      match be.B.Backend.state_scan ~contract:"kv" ~keys:[ "a" ] with
+      | [ ("a", history) ] ->
+          let values = List.map snd history in
+          Alcotest.(check (list string))
+            (name ^ " history of a (newest first)")
+            [ "v3"; "v1" ] values;
+          let heights = List.map fst history in
+          Alcotest.(check (list int)) (name ^ " heights") [ 2; 1 ] heights
+      | _ -> Alcotest.fail (name ^ ": bad state_scan shape"))
+    (backends ())
+
+let test_block_scan () =
+  List.iter
+    (fun (name, be) ->
+      let (_ : B.Chain.t) = run_history_workload be in
+      let at h =
+        be.B.Backend.block_scan ~height:h
+        |> List.map (fun (_, k, v) -> (k, v))
+        |> List.sort compare
+      in
+      Alcotest.(check (list (pair string string)))
+        (name ^ " states at block 1")
+        [ ("a", "v1"); ("b", "v2") ]
+        (at 1);
+      Alcotest.(check (list (pair string string)))
+        (name ^ " states at block 2")
+        [ ("a", "v3"); ("b", "v2"); ("c", "v4") ]
+        (at 2))
+    (backends ())
+
+let test_multi_contract_isolation () =
+  List.iter
+    (fun (name, be) ->
+      let chain = B.Chain.create ~block_size:2 be in
+      B.Chain.run chain
+        [
+          tx ~contract:"c1" (B.Transaction.Put ("k", "one"));
+          tx ~contract:"c2" (B.Transaction.Put ("k", "two"));
+        ];
+      Alcotest.(check (option string))
+        (name ^ " c1/k") (Some "one")
+        (be.B.Backend.read ~contract:"c1" ~key:"k");
+      Alcotest.(check (option string))
+        (name ^ " c2/k") (Some "two")
+        (be.B.Backend.read ~contract:"c2" ~key:"k"))
+    (backends ())
+
+let test_block_encode_roundtrip () =
+  let b =
+    {
+      B.Block.height = 42;
+      prev_hash = String.make 32 'p';
+      txn_digest = String.make 32 't';
+      state_root = "some-root";
+    }
+  in
+  Alcotest.(check bool) "roundtrip" true (B.Block.decode (B.Block.encode b) = b)
+
+let test_txn_digest_sensitive () =
+  let t1 = [ tx (B.Transaction.Put ("k", "v")) ] in
+  let t2 = [ tx (B.Transaction.Put ("k", "w")) ] in
+  Alcotest.(check bool) "digests differ" false
+    (String.equal (B.Transaction.digest_batch t1) (B.Transaction.digest_batch t2))
+
+let test_merkle_choices () =
+  (* The baseline backend works with all Figure 11 Merkle structures. *)
+  List.iter
+    (fun choice ->
+      let be =
+        B.Kv_state.create ~merkle:choice
+          (B.Kv_state.lsm_kv (Lsm.Lsm_store.create ()))
+      in
+      let chain = B.Chain.create ~block_size:8 be in
+      for i = 0 to 63 do
+        B.Chain.submit chain
+          (tx (B.Transaction.Put (Printf.sprintf "key%03d" i, Printf.sprintf "v%d" i)))
+      done;
+      B.Chain.flush chain;
+      Alcotest.(check bool)
+        (B.Backend.merkle_choice_name choice ^ " verifies")
+        true
+        (B.Chain.verify_chain chain);
+      Alcotest.(check (option string))
+        (B.Backend.merkle_choice_name choice ^ " read")
+        (Some "v7")
+        (be.B.Backend.read ~contract:"kv" ~key:"key007"))
+    [ B.Backend.Bucket 8; B.Backend.Bucket 1024; B.Backend.Trie ]
+
+let test_forkbase_storage_grows_less_than_kv () =
+  (* ForkBase dedups unchanged map chunks across blocks. *)
+  let fb = forkbase () in
+  let chain = B.Chain.create ~block_size:10 fb in
+  let rng = Fbutil.Splitmix.create 9L in
+  for i = 0 to 499 do
+    B.Chain.submit chain
+      (tx
+         (B.Transaction.Put
+            (Printf.sprintf "key%04d" (i mod 100), Fbutil.Splitmix.alphanum rng 64)))
+  done;
+  B.Chain.flush chain;
+  Alcotest.(check bool) "storage grows" true (fb.B.Backend.storage_bytes () > 0);
+  Alcotest.(check bool) "chain valid" true (B.Chain.verify_chain chain)
+
+(* --- SmallBank contract --- *)
+
+let test_smallbank_semantics () =
+  List.iter
+    (fun (name, be) ->
+      let chain = B.Chain.create ~block_size:16 be in
+      B.Smallbank.setup chain ~accounts:[ "alice"; "bob" ] ~initial:100;
+      Alcotest.(check (option int)) (name ^ " initial savings") (Some 100)
+        (B.Smallbank.savings be "alice");
+      B.Smallbank.execute chain (B.Smallbank.Deposit_checking ("alice", 30));
+      Alcotest.(check (option int)) (name ^ " deposit") (Some 130)
+        (B.Smallbank.checking be "alice");
+      B.Smallbank.execute chain (B.Smallbank.Send_payment ("alice", "bob", 50));
+      Alcotest.(check (option int)) (name ^ " payment out") (Some 80)
+        (B.Smallbank.checking be "alice");
+      Alcotest.(check (option int)) (name ^ " payment in") (Some 150)
+        (B.Smallbank.checking be "bob");
+      B.Smallbank.execute chain (B.Smallbank.Amalgamate ("alice", "bob"));
+      Alcotest.(check (option int)) (name ^ " amalgamated savings") (Some 0)
+        (B.Smallbank.savings be "alice");
+      Alcotest.(check (option int)) (name ^ " amalgamated checking") (Some 330)
+        (B.Smallbank.checking be "bob");
+      (* insufficient funds: payment is a no-op *)
+      B.Smallbank.execute chain (B.Smallbank.Send_payment ("alice", "bob", 10));
+      Alcotest.(check (option int)) (name ^ " rejected payment") (Some 0)
+        (B.Smallbank.checking be "alice");
+      (* savings floor at zero *)
+      B.Smallbank.execute chain (B.Smallbank.Transact_savings ("bob", -10_000));
+      Alcotest.(check (option int)) (name ^ " floored savings") (Some 0)
+        (B.Smallbank.savings be "bob");
+      Alcotest.(check bool) (name ^ " chain verifies") true (B.Chain.verify_chain chain))
+    (backends ())
+
+let test_smallbank_conservation () =
+  (* Random payments/amalgamations conserve total funds; the three
+     backends also agree with each other op for op. *)
+  let accounts = Array.init 8 (fun i -> Printf.sprintf "acct%d" i) in
+  let rng = Fbutil.Splitmix.create 77L in
+  let ops =
+    List.init 120 (fun _ ->
+        match B.Smallbank.random_op rng ~accounts with
+        (* restrict to fund-conserving ops for the invariant *)
+        | B.Smallbank.Deposit_checking (w, _) -> B.Smallbank.Balance w
+        | B.Smallbank.Write_check (w, _) -> B.Smallbank.Balance w
+        | B.Smallbank.Transact_savings (w, _) -> B.Smallbank.Balance w
+        | op -> op)
+  in
+  let totals =
+    List.map
+      (fun (name, be) ->
+        let chain = B.Chain.create ~block_size:16 be in
+        B.Smallbank.setup chain ~accounts:(Array.to_list accounts) ~initial:1000;
+        List.iter (B.Smallbank.execute chain) ops;
+        (name, B.Smallbank.total_funds be ~accounts:(Array.to_list accounts)))
+      (backends ())
+  in
+  List.iter
+    (fun (name, total) ->
+      Alcotest.(check int) (name ^ " conserves funds") (8 * 2 * 1000) total)
+    totals
+
+let () =
+  Alcotest.run "blockchain"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "read/write/commit" `Quick test_read_write_commit;
+          Alcotest.test_case "commit visibility" `Quick
+            test_writes_visible_after_commit_only;
+          Alcotest.test_case "chain integrity" `Quick test_chain_integrity;
+          Alcotest.test_case "state roots change" `Quick test_state_roots_change;
+          Alcotest.test_case "multi-contract isolation" `Quick
+            test_multi_contract_isolation;
+        ] );
+      ( "analytics",
+        [
+          Alcotest.test_case "state scan" `Quick test_state_scan;
+          Alcotest.test_case "block scan" `Quick test_block_scan;
+        ] );
+      ( "encoding",
+        [
+          Alcotest.test_case "block roundtrip" `Quick test_block_encode_roundtrip;
+          Alcotest.test_case "txn digest" `Quick test_txn_digest_sensitive;
+        ] );
+      ( "smallbank",
+        [
+          Alcotest.test_case "semantics" `Quick test_smallbank_semantics;
+          Alcotest.test_case "fund conservation" `Quick test_smallbank_conservation;
+        ] );
+      ( "variants",
+        [
+          Alcotest.test_case "merkle choices" `Quick test_merkle_choices;
+          Alcotest.test_case "forkbase storage" `Quick
+            test_forkbase_storage_grows_less_than_kv;
+        ] );
+    ]

@@ -1,0 +1,197 @@
+(* Chunk layer: cids, encodings, dedup accounting, the verifying/caching/
+   counting wrappers, and log-store persistence including torn-write
+   recovery. *)
+
+module Cid = Fbchunk.Cid
+module Chunk = Fbchunk.Chunk
+module Store = Fbchunk.Chunk_store
+module Log_store = Fbchunk.Log_store
+
+let blob s = Chunk.v Chunk.Blob s
+
+(* --- cid --- *)
+
+let test_cid_basics () =
+  let c = Cid.digest "hello" in
+  Alcotest.(check int) "raw size" 32 (String.length (Cid.to_raw c));
+  Alcotest.(check bool) "roundtrip hex" true (Cid.equal c (Cid.of_hex (Cid.to_hex c)));
+  Alcotest.(check int) "short hex" 8 (String.length (Cid.short_hex c));
+  Alcotest.(check bool) "deterministic" true (Cid.equal c (Cid.digest "hello"));
+  Alcotest.(check bool) "distinct" false (Cid.equal c (Cid.digest "world"));
+  (match Cid.of_raw "short" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short raw accepted");
+  Alcotest.(check bool) "low_bits in range" true (Cid.low_bits c >= 0)
+
+let test_chunk_encoding () =
+  List.iter
+    (fun tag ->
+      let c = Chunk.v tag "some payload" in
+      let c' = Chunk.decode (Chunk.encode c) in
+      Alcotest.(check bool) (Chunk.tag_to_string tag ^ " roundtrip") true (c = c');
+      Alcotest.(check bool) "cid covers tag+payload" true
+        (Cid.equal (Chunk.cid c) (Cid.digest (Chunk.encode c))))
+    [ Chunk.Meta; Chunk.UIndex; Chunk.SIndex; Chunk.Blob; Chunk.List; Chunk.Set; Chunk.Map ];
+  (match Chunk.decode "" with
+  | exception Fbutil.Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "empty chunk accepted");
+  match Chunk.decode "Zoops" with
+  | exception Fbutil.Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad tag accepted"
+
+let test_tag_distinguishes_cids () =
+  (* Same payload under different tags must have different cids — types
+     are part of the authenticated content. *)
+  Alcotest.(check bool) "tags differ" false
+    (Cid.equal (Chunk.cid (Chunk.v Chunk.Blob "x")) (Chunk.cid (Chunk.v Chunk.List "x")))
+
+(* --- mem store + dedup --- *)
+
+let test_dedup_accounting () =
+  let s = Store.mem_store () in
+  let c = blob (String.make 100 'a') in
+  let cid1 = s.Store.put c in
+  let cid2 = s.Store.put c in
+  Alcotest.(check bool) "same cid" true (Cid.equal cid1 cid2);
+  let st = s.Store.stats () in
+  Alcotest.(check int) "puts" 2 st.Store.puts;
+  Alcotest.(check int) "dedup hits" 1 st.Store.dedup_hits;
+  Alcotest.(check int) "stored once" 1 st.Store.chunks;
+  Alcotest.(check int) "bytes once" (Chunk.byte_size c) st.Store.bytes;
+  Alcotest.(check bool) "mem" true (s.Store.mem cid1);
+  Alcotest.(check bool) "get" true (s.Store.get cid1 = Some c);
+  let st = s.Store.stats () in
+  Alcotest.(check int) "gets counted" 1 st.Store.gets;
+  ignore (s.Store.get (Cid.digest "absent"));
+  Alcotest.(check int) "miss counted" 1 (s.Store.stats ()).Store.misses
+
+let test_verifying_wrapper () =
+  let inner = Store.mem_store () in
+  let cid = inner.Store.put (blob "clean") in
+  (* a store that lies about chunk contents *)
+  let liar = { inner with Store.get = (fun _ -> Some (blob "tampered")) } in
+  let v = Store.verifying liar in
+  (match v.Store.get cid with
+  | exception Store.Corrupt_chunk _ -> ()
+  | _ -> Alcotest.fail "tampered chunk accepted");
+  let honest = Store.verifying inner in
+  Alcotest.(check bool) "honest passes" true (honest.Store.get cid = Some (blob "clean"))
+
+let test_counting_wrapper () =
+  let read_bytes = ref 0 and written_bytes = ref 0 in
+  let s = Store.counting (Store.mem_store ()) ~read_bytes ~written_bytes in
+  let c = blob (String.make 500 'z') in
+  let cid = s.Store.put c in
+  ignore (s.Store.get cid);
+  ignore (s.Store.get cid);
+  Alcotest.(check int) "written" (Chunk.byte_size c) !written_bytes;
+  Alcotest.(check int) "read twice" (2 * Chunk.byte_size c) !read_bytes
+
+let test_cache_serves_hits_and_evicts () =
+  let gets_seen = ref 0 in
+  let inner = Store.mem_store () in
+  let spying = { inner with Store.get = (fun cid -> incr gets_seen; inner.Store.get cid) } in
+  let cached = Store.with_cache ~capacity:2 spying in
+  let c1 = blob "one" and c2 = blob "two" and c3 = blob "three" in
+  (* populate through inner so the cache starts cold *)
+  let i1 = inner.Store.put c1 and i2 = inner.Store.put c2 and i3 = inner.Store.put c3 in
+  ignore (cached.Store.get i1);
+  ignore (cached.Store.get i1);
+  Alcotest.(check int) "second read cached" 1 !gets_seen;
+  ignore (cached.Store.get i2);
+  ignore (cached.Store.get i3);
+  (* capacity 2 + FIFO: c1 evicted *)
+  ignore (cached.Store.get i1);
+  Alcotest.(check int) "eviction forces re-fetch" 4 !gets_seen
+
+(* --- log store --- *)
+
+let with_temp f =
+  let path = Filename.temp_file "fbchunk" ".log" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_log_store_roundtrip () =
+  with_temp @@ fun path ->
+  let log = Log_store.open_ path in
+  let s = Log_store.store log in
+  let cids = List.init 100 (fun i -> s.Store.put (blob (Printf.sprintf "chunk-%d-%s" i (String.make i 'q')))) in
+  Log_store.close log;
+  let log2 = Log_store.open_ path in
+  let s2 = Log_store.store log2 in
+  List.iteri
+    (fun i cid ->
+      match s2.Store.get cid with
+      | Some c -> Alcotest.(check bool) "content" true (c = blob (Printf.sprintf "chunk-%d-%s" i (String.make i 'q')))
+      | None -> Alcotest.fail "chunk lost across reopen")
+    cids;
+  Alcotest.(check int) "chunk count recovered" 100 (s2.Store.stats ()).Store.chunks;
+  Log_store.close log2
+
+let test_log_store_dedup_across_sessions () =
+  with_temp @@ fun path ->
+  let log = Log_store.open_ path in
+  let (_ : Cid.t) = (Log_store.store log).Store.put (blob "stable") in
+  Log_store.close log;
+  let size1 = (Unix.stat path).Unix.st_size in
+  let log2 = Log_store.open_ path in
+  let (_ : Cid.t) = (Log_store.store log2).Store.put (blob "stable") in
+  Log_store.flush log2;
+  Log_store.close log2;
+  let size2 = (Unix.stat path).Unix.st_size in
+  Alcotest.(check int) "no growth on duplicate put" size1 size2
+
+let test_log_store_torn_tail () =
+  with_temp @@ fun path ->
+  let log = Log_store.open_ path in
+  let s = Log_store.store log in
+  let keep = s.Store.put (blob "keep-me") in
+  Log_store.close log;
+  (* simulate a crash mid-append: write a garbage half-record *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "\x40only-half-a-rec";
+  close_out oc;
+  let log2 = Log_store.open_ path in
+  let s2 = Log_store.store log2 in
+  Alcotest.(check bool) "good chunk survives" true (s2.Store.get keep = Some (blob "keep-me"));
+  Alcotest.(check int) "torn record dropped" 1 (s2.Store.stats ()).Store.chunks;
+  (* new appends after recovery are readable *)
+  let fresh = s2.Store.put (blob "after-recovery") in
+  Alcotest.(check bool) "append after recovery" true
+    (s2.Store.get fresh = Some (blob "after-recovery"));
+  Log_store.close log2
+
+let prop_store_roundtrip =
+  QCheck.Test.make ~name:"mem store get . put = id" ~count:200
+    QCheck.(pair (oneofl [ Chunk.Blob; Chunk.List; Chunk.Map ]) string)
+    (fun (tag, payload) ->
+      let s = Store.mem_store () in
+      let c = Chunk.v tag payload in
+      s.Store.get (s.Store.put c) = Some c)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "chunk"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "cid basics" `Quick test_cid_basics;
+          Alcotest.test_case "chunk encoding" `Quick test_chunk_encoding;
+          Alcotest.test_case "tag in cid" `Quick test_tag_distinguishes_cids;
+          q prop_store_roundtrip;
+        ] );
+      ( "wrappers",
+        [
+          Alcotest.test_case "dedup accounting" `Quick test_dedup_accounting;
+          Alcotest.test_case "verifying" `Quick test_verifying_wrapper;
+          Alcotest.test_case "counting" `Quick test_counting_wrapper;
+          Alcotest.test_case "cache" `Quick test_cache_serves_hits_and_evicts;
+        ] );
+      ( "log-store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_log_store_roundtrip;
+          Alcotest.test_case "dedup across sessions" `Quick
+            test_log_store_dedup_across_sessions;
+          Alcotest.test_case "torn tail recovery" `Quick test_log_store_torn_tail;
+        ] );
+    ]

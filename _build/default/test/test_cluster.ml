@@ -1,0 +1,150 @@
+(* Cluster: partitioning balance, one- vs two-layer storage distribution,
+   event simulator behaviour. *)
+
+module C = Fbcluster.Cluster
+module P = Fbcluster.Partition
+module E = Fbcluster.Event_sim
+module Db = Forkbase.Db
+
+let test_partition_balance () =
+  let counts = Array.make 16 0 in
+  for i = 0 to 15_999 do
+    let s = P.servlet_of_key ~servlets:16 (Printf.sprintf "key-%d" i) in
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 500 || c > 1500 then
+        Alcotest.fail (Printf.sprintf "servlet %d got %d/16000 keys" i c))
+    counts
+
+let test_partition_deterministic () =
+  Alcotest.(check int) "stable routing"
+    (P.servlet_of_key ~servlets:8 "some-key")
+    (P.servlet_of_key ~servlets:8 "some-key")
+
+let run_skewed_workload cluster =
+  let rng = Fbutil.Splitmix.create 21L in
+  let zipf = Workload.Zipf.create ~n:64 ~theta:0.9 in
+  for _ = 1 to 400 do
+    let page = Printf.sprintf "page-%03d" (Workload.Zipf.sample zipf rng) in
+    let db = C.db_for_key cluster page in
+    let content = Fbutil.Splitmix.alphanum rng 8_000 in
+    let (_ : Fbchunk.Cid.t) = Db.put db ~key:page (Db.blob db content) in
+    ()
+  done
+
+let test_two_layer_balances_storage () =
+  let one = C.create ~n:8 C.One_layer in
+  let two = C.create ~n:8 C.Two_layer in
+  run_skewed_workload one;
+  run_skewed_workload two;
+  let i1 = C.imbalance one and i2 = C.imbalance two in
+  Alcotest.(check bool)
+    (Printf.sprintf "two-layer (%.2f) beats one-layer (%.2f)" i2 i1)
+    true (i2 < i1);
+  Alcotest.(check bool) "two-layer near balanced" true (i2 < 1.6)
+
+let test_cluster_data_accessible () =
+  List.iter
+    (fun mode ->
+      let cluster = C.create ~n:4 mode in
+      for i = 0 to 49 do
+        let key = Printf.sprintf "k%d" i in
+        let db = C.db_for_key cluster key in
+        let (_ : Fbchunk.Cid.t) =
+          Db.put db ~key (Db.blob db (String.make 5000 (Char.chr (65 + (i mod 26)))))
+        in
+        ()
+      done;
+      for i = 0 to 49 do
+        let key = Printf.sprintf "k%d" i in
+        let db = C.db_for_key cluster key in
+        match Db.get db ~key with
+        | Ok (Fbtypes.Value.Blob b) ->
+            Alcotest.(check int) (key ^ " length") 5000 (Fbtypes.Fblob.length b)
+        | _ -> Alcotest.fail ("cannot read " ^ key)
+      done)
+    [ C.One_layer; C.Two_layer ]
+
+(* --- event simulator --- *)
+
+let test_sim_single_servlet_saturation () =
+  (* One servlet, 1 ms service time, many clients: throughput saturates at
+     1000 ops/sec. *)
+  let r =
+    E.run
+      {
+        E.servlets = 1;
+        clients = 32;
+        requests = 5000;
+        service_time = (fun () -> 0.001);
+        network_delay = 0.0001;
+        route = (fun i -> i);
+      }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput %.0f ~ 1000" r.E.throughput)
+    true
+    (r.E.throughput > 900.0 && r.E.throughput < 1100.0)
+
+let test_sim_linear_scaling () =
+  (* No cross-servlet communication: n servlets ≈ n × throughput — the
+     Figure 8 mechanism. *)
+  let run n =
+    (E.run
+       {
+         E.servlets = n;
+         clients = 32 * n;
+         requests = 4000 * n;
+         service_time = (fun () -> 0.001);
+         network_delay = 0.0001;
+         route = (fun i -> i);
+       })
+      .E.throughput
+  in
+  let t1 = run 1 and t8 = run 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "8 servlets: %.0f vs %.0f (x%.1f)" t8 t1 (t8 /. t1))
+    true
+    (t8 /. t1 > 6.0)
+
+let test_sim_latency_includes_network () =
+  let r =
+    E.run
+      {
+        E.servlets = 4;
+        clients = 4;
+        requests = 1000;
+        service_time = (fun () -> 0.0005);
+        network_delay = 0.001;
+        route = (fun i -> i);
+      }
+  in
+  (* latency >= 2 network hops + service *)
+  Alcotest.(check bool)
+    (Printf.sprintf "avg latency %.4f >= 0.0024" r.E.avg_latency)
+    true
+    (r.E.avg_latency >= 0.0024)
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "balance" `Quick test_partition_balance;
+          Alcotest.test_case "deterministic" `Quick test_partition_deterministic;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "two-layer balances" `Quick
+            test_two_layer_balances_storage;
+          Alcotest.test_case "data accessible" `Quick test_cluster_data_accessible;
+        ] );
+      ( "event-sim",
+        [
+          Alcotest.test_case "saturation" `Quick test_sim_single_servlet_saturation;
+          Alcotest.test_case "linear scaling" `Quick test_sim_linear_scaling;
+          Alcotest.test_case "latency" `Quick test_sim_latency_includes_network;
+        ] );
+    ]

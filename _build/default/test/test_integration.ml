@@ -1,0 +1,184 @@
+(* Cross-layer integration: several applications sharing one chunk store,
+   cross-object deduplication (§2.1: "ForkBase deduplication works across
+   multiple datasets"), the Db-level Diff operation, and an end-to-end
+   collaborative workflow combining forks, conflicting puts, merge and
+   history verification. *)
+
+module Db = Forkbase.Db
+module Diff = Forkbase.Diff
+module Store = Fbchunk.Chunk_store
+module Cid = Fbchunk.Cid
+module Value = Fbtypes.Value
+module Dataset = Workload.Dataset
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Db.error_to_string e)
+
+(* --- cross-dataset dedup --- *)
+
+let test_cross_dataset_dedup () =
+  (* Two teams import mostly-overlapping datasets under different keys;
+     content-based dedup shares the chunks a delta-based system would
+     duplicate (§2.1). *)
+  let db = Db.create (Store.mem_store ()) in
+  let records = Dataset.generate ~seed:5L ~n:5_000 in
+  let (_ : Cid.t) = Tabular.Table_row.import db ~name:"team-a/sales" records in
+  let bytes_a = ((Db.store db).Store.stats ()).Store.bytes in
+  (* team B's copy differs in 50 records *)
+  let rng = Fbutil.Splitmix.create 6L in
+  let records_b = Array.copy records in
+  (* a contiguous slice of 50 corrected records *)
+  for i = 2_000 to 2_049 do
+    records_b.(i) <- Dataset.mutate rng records.(i)
+  done;
+  let (_ : Cid.t) = Tabular.Table_row.import db ~name:"team-b/sales" records_b in
+  let bytes_b = ((Db.store db).Store.stats ()).Store.bytes - bytes_a in
+  Alcotest.(check bool)
+    (Printf.sprintf "second dataset costs %d of %d bytes" bytes_b bytes_a)
+    true
+    (bytes_b < bytes_a / 5)
+
+let test_applications_share_store () =
+  (* A wiki, a blockchain and a table live in one chunk pool without
+     interference. *)
+  let store = Store.mem_store () in
+  let wiki = Wiki.forkbase_engine store in
+  let backend = Blockchain.Backend_forkbase.create store in
+  let chain = Blockchain.Chain.create ~block_size:2 backend in
+  let db = Db.create store in
+  wiki.Wiki.save ~page:"Home" ~content:"wiki content";
+  Blockchain.Chain.run chain
+    [
+      { Blockchain.Transaction.contract = "kv"; op = Blockchain.Transaction.Put ("k", "v") };
+      { Blockchain.Transaction.contract = "kv"; op = Blockchain.Transaction.Get "k" };
+    ];
+  let (_ : Cid.t) =
+    Tabular.Table_row.import db ~name:"t" (Dataset.generate ~seed:7L ~n:100)
+  in
+  Alcotest.(check (option string)) "wiki intact" (Some "wiki content")
+    (wiki.Wiki.read_latest ~page:"Home");
+  Alcotest.(check (option string)) "chain state intact" (Some "v")
+    (backend.Blockchain.Backend.read ~contract:"kv" ~key:"k");
+  Alcotest.(check bool) "chain verifies" true (Blockchain.Chain.verify_chain chain);
+  Alcotest.(check int) "table intact" 100
+    (Tabular.Table_row.cardinal (Option.get (Tabular.Table_row.load db ~name:"t")))
+
+(* --- Db.diff --- *)
+
+let test_diff_map_versions () =
+  let db = Db.create (Store.mem_store ()) in
+  let v1 = Db.put db ~key:"m" (Db.map db [ ("a", "1"); ("b", "2") ]) in
+  let v2 = Db.put db ~key:"m" (Db.map db [ ("a", "1"); ("b", "22"); ("c", "3") ]) in
+  match ok (Db.diff db v1 v2) with
+  | Diff.Map_diff changes ->
+      Alcotest.(check int) "two changes" 2 (List.length changes);
+      Alcotest.(check string) "summary" "2 keys differ"
+        (Diff.summary (Diff.Map_diff changes))
+  | d -> Alcotest.fail (Diff.summary d)
+
+let test_diff_blob_versions_different_keys () =
+  (* §3.2: Diff works across keys as long as types match. *)
+  let db = Db.create (Store.mem_store ()) in
+  let base = Workload.Text_edit.initial_page ~seed:8L ~size:20_000 in
+  let v1 = Db.put db ~key:"doc-a" (Db.blob db base) in
+  let edited = Workload.Text_edit.apply base (Workload.Text_edit.Overwrite (9_000, "CHANGED")) in
+  let v2 = Db.put db ~key:"doc-b" (Db.blob db edited) in
+  (match ok (Db.diff db v1 v2) with
+  | Diff.Blob_diff { equal = false; left_region = pos, len; _ } ->
+      Alcotest.(check bool)
+        (Printf.sprintf "region (%d,%d) covers the edit" pos len)
+        true
+        (pos <= 9_000 && pos + len >= 9_007 && len < 5_000)
+  | d -> Alcotest.fail (Diff.summary d));
+  (* equal contents -> equal diff *)
+  let v3 = Db.put db ~key:"doc-c" (Db.blob db base) in
+  match ok (Db.diff db v1 v3) with
+  | Diff.Blob_diff { equal = true; _ } -> ()
+  | d -> Alcotest.fail (Diff.summary d)
+
+let test_diff_type_mismatch () =
+  let db = Db.create (Store.mem_store ()) in
+  let v1 = Db.put db ~key:"a" (Db.str "s") in
+  let v2 = Db.put db ~key:"b" (Db.int 1L) in
+  match Db.diff db v1 v2 with
+  | exception Diff.Type_mismatch _ -> ()
+  | Ok (Diff.Prim_diff { equal; _ }) ->
+      (* both primitive: allowed, unequal *)
+      Alcotest.(check bool) "not equal" false equal
+  | _ -> Alcotest.fail "unexpected diff result"
+
+let test_diff_sets () =
+  let db = Db.create (Store.mem_store ()) in
+  let v1 = Db.put db ~key:"s" (Db.set db [ "x"; "y" ]) in
+  let v2 = Db.put db ~key:"s" (Db.set db [ "y"; "z" ]) in
+  match ok (Db.diff db v1 v2) with
+  | Diff.Set_diff [ `Left "x"; `Right "z" ] -> ()
+  | d -> Alcotest.fail (Diff.summary d)
+
+(* --- an end-to-end collaborative session --- *)
+
+let test_collaboration_end_to_end () =
+  let db = Db.create (Store.mem_store ()) in
+  (* 1. shared dataset on master *)
+  let base_version =
+    Db.put ~context:"import" db ~key:"data" (Db.map db [ ("row1", "a"); ("row2", "b") ])
+  in
+  (* 2. two analysts fork *)
+  ok (Db.fork db ~key:"data" ~from_branch:"master" ~new_branch:"alice");
+  ok (Db.fork db ~key:"data" ~from_branch:"master" ~new_branch:"bob");
+  let (_ : Cid.t) =
+    Db.put ~branch:"alice" db ~key:"data"
+      (Db.map db [ ("row1", "a-cleaned"); ("row2", "b") ])
+  in
+  let (_ : Cid.t) =
+    Db.put ~branch:"bob" db ~key:"data"
+      (Db.map db [ ("row1", "a"); ("row2", "b"); ("row3", "c") ])
+  in
+  (* 3. merge both back: disjoint changes, no conflicts *)
+  let (_ : Cid.t) = ok (Db.merge db ~key:"data" ~target:"master" ~ref_:(`Branch "alice")) in
+  let merged = ok (Db.merge db ~key:"data" ~target:"master" ~ref_:(`Branch "bob")) in
+  (match ok (Db.get db ~key:"data") with
+  | Value.Map m ->
+      Alcotest.(check (list (pair string string)))
+        "merged content"
+        [ ("row1", "a-cleaned"); ("row2", "b"); ("row3", "c") ]
+        (Fbtypes.Fmap.bindings m)
+  | v -> Alcotest.fail (Value.describe v));
+  (* 4. the merged head hash-chains back to the import *)
+  Alcotest.(check bool) "history contains the import" true
+    (Db.history_contains db ~head:merged base_version);
+  Alcotest.(check bool) "merged head verifies" true (Db.verify_version db merged);
+  (* 5. concurrent puts against the same base create untagged branches,
+     resolved by merge_untagged *)
+  let w1 = ok (Db.put_at db ~key:"data" ~base:merged (Db.map db [ ("row1", "w1") ])) in
+  let w2 = ok (Db.put_at db ~key:"data" ~base:merged (Db.map db [ ("row1", "w2") ])) in
+  Alcotest.(check int) "conflicting heads" 2
+    (List.length (Db.list_untagged_branches db ~key:"data"));
+  ignore (w1, w2);
+  let resolved =
+    ok
+      (Db.merge_untagged ~resolver:Forkbase.Merge.Choose_right db ~key:"data"
+         [ w1; w2 ])
+  in
+  Alcotest.(check bool) "resolution recorded" true (Db.verify_version db resolved)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "shared-store",
+        [
+          Alcotest.test_case "cross-dataset dedup" `Quick test_cross_dataset_dedup;
+          Alcotest.test_case "apps share a store" `Quick test_applications_share_store;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "map versions" `Quick test_diff_map_versions;
+          Alcotest.test_case "blobs across keys" `Quick
+            test_diff_blob_versions_different_keys;
+          Alcotest.test_case "type mismatch" `Quick test_diff_type_mismatch;
+          Alcotest.test_case "sets" `Quick test_diff_sets;
+        ] );
+      ( "workflow",
+        [ Alcotest.test_case "end-to-end collaboration" `Quick test_collaboration_end_to_end ] );
+    ]

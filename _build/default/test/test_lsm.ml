@@ -1,0 +1,157 @@
+(* LSM store: model-based testing against a Hashtbl, plus structural
+   behaviour (flush, compaction, bloom filters, range scans). *)
+
+module L = Lsm.Lsm_store
+
+let small_config =
+  (* Tiny thresholds so tests exercise flush + multi-level compaction. *)
+  {
+    L.memtable_bytes = 2048;
+    level0_tables = 2;
+    level_base_bytes = 8192;
+    level_ratio = 4;
+  }
+
+let test_put_get () =
+  let t = L.create () in
+  L.put t "a" "1";
+  L.put t "b" "2";
+  Alcotest.(check (option string)) "get a" (Some "1") (L.get t "a");
+  Alcotest.(check (option string)) "get b" (Some "2") (L.get t "b");
+  Alcotest.(check (option string)) "missing" None (L.get t "c");
+  L.put t "a" "1b";
+  Alcotest.(check (option string)) "overwrite" (Some "1b") (L.get t "a")
+
+let test_delete () =
+  let t = L.create ~config:small_config () in
+  L.put t "k" "v";
+  L.delete t "k";
+  Alcotest.(check (option string)) "deleted" None (L.get t "k");
+  (* Tombstone must shadow flushed values. *)
+  for i = 0 to 200 do
+    L.put t (Printf.sprintf "fill%04d" i) (String.make 50 'x')
+  done;
+  L.put t "k2" "v2";
+  L.flush t;
+  L.delete t "k2";
+  L.flush t;
+  Alcotest.(check (option string)) "tombstone across tables" None (L.get t "k2")
+
+let test_flush_and_compaction () =
+  let t = L.create ~config:small_config () in
+  for i = 0 to 2000 do
+    L.put t (Printf.sprintf "key%06d" i) (String.make 40 'v')
+  done;
+  let s = L.stats t in
+  Alcotest.(check bool) "compactions happened" true (s.L.compactions > 0);
+  Alcotest.(check bool) "multiple levels" true (s.L.levels >= 2);
+  (* All keys still readable after compaction. *)
+  for i = 0 to 2000 do
+    if L.get t (Printf.sprintf "key%06d" i) = None then
+      Alcotest.fail (Printf.sprintf "lost key%06d" i)
+  done
+
+let test_read_amplification () =
+  let t = L.create ~config:small_config () in
+  for i = 0 to 3000 do
+    L.put t (Printf.sprintf "key%06d" i) (String.make 40 'v')
+  done;
+  let before = (L.stats t).L.tables_probed in
+  for i = 0 to 99 do
+    ignore (L.get t (Printf.sprintf "key%06d" (i * 17)))
+  done;
+  let probed = (L.stats t).L.tables_probed - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "reads probe tables (%d for 100 gets)" probed)
+    true (probed > 0)
+
+let test_range_scan () =
+  let t = L.create ~config:small_config () in
+  for i = 0 to 500 do
+    L.put t (Printf.sprintf "k%04d" i) (string_of_int i)
+  done;
+  L.delete t "k0250";
+  let seen = ref [] in
+  L.iter_range t ~lo:"k0240" ~hi:"k0260" (fun k v -> seen := (k, v) :: !seen);
+  let seen = List.rev !seen in
+  Alcotest.(check int) "count (one deleted)" 20 (List.length seen);
+  Alcotest.(check bool) "sorted" true
+    (List.sort compare seen = seen);
+  Alcotest.(check bool) "deleted key absent" true
+    (not (List.mem_assoc "k0250" seen))
+
+let prop_model =
+  QCheck.Test.make ~name:"lsm matches Hashtbl model" ~count:30
+    QCheck.(list_of_size (Gen.int_bound 400) (pair (int_bound 50) (option small_string)))
+    (fun ops ->
+      let t = L.create ~config:small_config () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (k, v) ->
+          let key = Printf.sprintf "key%03d" k in
+          match v with
+          | Some v ->
+              L.put t key v;
+              Hashtbl.replace model key v
+          | None ->
+              L.delete t key;
+              Hashtbl.remove model key)
+        ops;
+      List.for_all
+        (fun k ->
+          let key = Printf.sprintf "key%03d" k in
+          L.get t key = Hashtbl.find_opt model key)
+        (List.init 51 Fun.id))
+
+let test_bloom () =
+  let b = Lsm.Bloom.create ~expected:1000 in
+  for i = 0 to 999 do
+    Lsm.Bloom.add b (Printf.sprintf "member%d" i)
+  done;
+  for i = 0 to 999 do
+    if not (Lsm.Bloom.mem b (Printf.sprintf "member%d" i)) then
+      Alcotest.fail "false negative"
+  done;
+  let fp = ref 0 in
+  for i = 0 to 9999 do
+    if Lsm.Bloom.mem b (Printf.sprintf "absent%d" i) then incr fp
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "false positive rate ~1%% (%d/10000)" !fp)
+    true (!fp < 500)
+
+let test_sstable () =
+  let kvs =
+    List.init 100 (fun i ->
+        (Printf.sprintf "k%03d" i, Lsm.Sstable.Value (string_of_int i)))
+  in
+  let t = Lsm.Sstable.of_sorted kvs in
+  Alcotest.(check int) "length" 100 (Lsm.Sstable.length t);
+  Alcotest.(check string) "min" "k000" (Lsm.Sstable.min_key t);
+  Alcotest.(check string) "max" "k099" (Lsm.Sstable.max_key t);
+  (match Lsm.Sstable.get t "k050" with
+  | Some (Lsm.Sstable.Value "50") -> ()
+  | _ -> Alcotest.fail "get k050");
+  Alcotest.(check bool) "absent" true (Lsm.Sstable.get t "nope" = None);
+  Alcotest.(check bool) "overlap yes" true (Lsm.Sstable.overlaps t ~lo:"k050" ~hi:"zz");
+  Alcotest.(check bool) "overlap no" false (Lsm.Sstable.overlaps t ~lo:"l" ~hi:"z")
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "lsm"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "put/get" `Quick test_put_get;
+          Alcotest.test_case "delete + tombstones" `Quick test_delete;
+          Alcotest.test_case "flush + compaction" `Quick test_flush_and_compaction;
+          Alcotest.test_case "read amplification" `Quick test_read_amplification;
+          Alcotest.test_case "range scan" `Quick test_range_scan;
+          q prop_model;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "bloom filter" `Quick test_bloom;
+          Alcotest.test_case "sstable" `Quick test_sstable;
+        ] );
+    ]

@@ -1,0 +1,180 @@
+(* Hyperledger-baseline structures: bucket tree, Patricia trie, state
+   deltas. *)
+
+module BT = Merkle.Bucket_tree
+module PT = Merkle.Patricia_trie
+module SD = Merkle.State_delta
+
+(* --- bucket tree --- *)
+
+let test_bucket_basic () =
+  let t = BT.create ~num_buckets:16 () in
+  let r0 = BT.root_hash t in
+  let r1 = BT.apply t [ ("a", Some "1"); ("b", Some "2") ] in
+  Alcotest.(check bool) "root changed" false (String.equal r0 r1);
+  Alcotest.(check (option string)) "get a" (Some "1") (BT.get t "a");
+  Alcotest.(check int) "key count" 2 (BT.key_count t);
+  let r2 = BT.apply t [ ("a", None) ] in
+  Alcotest.(check (option string)) "deleted" None (BT.get t "a");
+  Alcotest.(check int) "key count after delete" 1 (BT.key_count t);
+  Alcotest.(check bool) "root changed again" false (String.equal r1 r2)
+
+let test_bucket_deterministic_root () =
+  (* Same final contents -> same root, regardless of update order. *)
+  let t1 = BT.create ~num_buckets:32 () in
+  let t2 = BT.create ~num_buckets:32 () in
+  let kvs = List.init 100 (fun i -> (Printf.sprintf "k%03d" i, Some (string_of_int i))) in
+  let (_ : string) = BT.apply t1 kvs in
+  List.iter (fun kv -> ignore (BT.apply t2 [ kv ])) (List.rev kvs);
+  Alcotest.(check bool) "roots equal" true
+    (String.equal (BT.root_hash t1) (BT.root_hash t2))
+
+let test_bucket_write_amplification () =
+  (* With few buckets and many keys, each update rehashes a huge bucket;
+     with many buckets the work per update is small.  This is the Fig 11
+     mechanism. *)
+  let fill t =
+    for i = 0 to 999 do
+      ignore (BT.apply t [ (Printf.sprintf "key%05d" i, Some (String.make 32 'v')) ])
+    done
+  in
+  let few = BT.create ~num_buckets:4 () in
+  let many = BT.create ~num_buckets:4096 () in
+  fill few;
+  fill many;
+  let baseline_few = BT.hashed_bytes few and baseline_many = BT.hashed_bytes many in
+  ignore (BT.apply few [ ("key00000", Some "updated") ]);
+  ignore (BT.apply many [ ("key00000", Some "updated") ]);
+  let cost_few = BT.hashed_bytes few - baseline_few in
+  let cost_many = BT.hashed_bytes many - baseline_many in
+  Alcotest.(check bool)
+    (Printf.sprintf "few buckets amplify writes (%d vs %d hashed bytes)" cost_few
+       cost_many)
+    true
+    (cost_few > 4 * cost_many)
+
+(* --- patricia trie --- *)
+
+let test_trie_basic () =
+  let t = PT.create () in
+  PT.set t "hello" "world";
+  PT.set t "help" "me";
+  PT.set t "he" "short";
+  Alcotest.(check (option string)) "hello" (Some "world") (PT.get t "hello");
+  Alcotest.(check (option string)) "help" (Some "me") (PT.get t "help");
+  Alcotest.(check (option string)) "he" (Some "short") (PT.get t "he");
+  Alcotest.(check (option string)) "absent" None (PT.get t "hel");
+  Alcotest.(check int) "key count" 3 (PT.key_count t);
+  PT.remove t "help";
+  Alcotest.(check (option string)) "removed" None (PT.get t "help");
+  Alcotest.(check (option string)) "others intact" (Some "world") (PT.get t "hello");
+  Alcotest.(check int) "count after remove" 2 (PT.key_count t)
+
+let test_trie_root_deterministic () =
+  let build kvs =
+    let t = PT.create () in
+    List.iter (fun (k, v) -> PT.set t k v) kvs;
+    PT.commit t
+  in
+  let kvs = List.init 200 (fun i -> (Printf.sprintf "key%04d" i, string_of_int i)) in
+  Alcotest.(check bool) "insertion order irrelevant" true
+    (String.equal (build kvs) (build (List.rev kvs)))
+
+let test_trie_root_changes () =
+  let t = PT.create () in
+  PT.set t "a" "1";
+  let r1 = PT.commit t in
+  PT.set t "a" "2";
+  let r2 = PT.commit t in
+  Alcotest.(check bool) "value change changes root" false (String.equal r1 r2)
+
+let test_trie_remove_then_rebuild_root () =
+  (* Deleting what was added must return to the previous root (path
+     collapse correctness). *)
+  let t = PT.create () in
+  PT.set t "alpha" "1";
+  PT.set t "beta" "2";
+  let r1 = PT.commit t in
+  PT.set t "alphabet" "3";
+  PT.set t "gamma" "4";
+  let (_ : string) = PT.commit t in
+  PT.remove t "alphabet";
+  PT.remove t "gamma";
+  let r2 = PT.commit t in
+  Alcotest.(check bool) "root restored after removals" true (String.equal r1 r2)
+
+let prop_trie_model =
+  QCheck.Test.make ~name:"trie matches Hashtbl model" ~count:40
+    QCheck.(list_of_size (Gen.int_bound 200) (pair (int_bound 60) (option small_string)))
+    (fun ops ->
+      let t = PT.create () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (k, v) ->
+          let key = Printf.sprintf "k%03d" k in
+          match v with
+          | Some v ->
+              PT.set t key v;
+              Hashtbl.replace model key v
+          | None ->
+              PT.remove t key;
+              Hashtbl.remove model key)
+        ops;
+      List.for_all
+        (fun i ->
+          let key = Printf.sprintf "k%03d" i in
+          PT.get t key = Hashtbl.find_opt model key)
+        (List.init 61 Fun.id)
+      && PT.key_count t = Hashtbl.length model)
+
+let test_trie_unbalanced_depth () =
+  (* Sequential keys share long prefixes: depth grows well beyond a
+     balanced tree's height — the Fig 11 trie latency mechanism. *)
+  let t = PT.create () in
+  for i = 0 to 999 do
+    PT.set t (Printf.sprintf "user%010d" i) "v"
+  done;
+  let d1000 = PT.max_depth t in
+  let small = PT.create () in
+  for i = 0 to 9 do
+    PT.set small (Printf.sprintf "user%010d" i) "v"
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "depth grows with keys (%d > %d)" d1000 (PT.max_depth small))
+    true
+    (d1000 > PT.max_depth small && d1000 > 4)
+
+(* --- state delta --- *)
+
+let prop_delta_roundtrip =
+  QCheck.Test.make ~name:"state delta encode/decode" ~count:100
+    QCheck.(list (triple small_string (option small_string) (option small_string)))
+    (fun entries ->
+      let delta =
+        List.map (fun (key, prev, next) -> { SD.key; prev; next }) entries
+      in
+      SD.decode (SD.encode delta) = delta)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "merkle"
+    [
+      ( "bucket-tree",
+        [
+          Alcotest.test_case "basic" `Quick test_bucket_basic;
+          Alcotest.test_case "deterministic root" `Quick test_bucket_deterministic_root;
+          Alcotest.test_case "write amplification" `Quick
+            test_bucket_write_amplification;
+        ] );
+      ( "patricia-trie",
+        [
+          Alcotest.test_case "basic" `Quick test_trie_basic;
+          Alcotest.test_case "deterministic root" `Quick test_trie_root_deterministic;
+          Alcotest.test_case "root changes" `Quick test_trie_root_changes;
+          Alcotest.test_case "remove restores root" `Quick
+            test_trie_remove_then_rebuild_root;
+          q prop_trie_model;
+          Alcotest.test_case "unbalanced depth" `Quick test_trie_unbalanced_depth;
+        ] );
+      ("state-delta", [ q prop_delta_roundtrip ]);
+    ]

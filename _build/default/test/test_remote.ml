@@ -1,0 +1,154 @@
+(* The network service: wire codecs (property-tested) and a real TCP
+   round trip against a forked server process. *)
+
+module Wire = Fbremote.Wire
+module Server = Fbremote.Server
+module Client = Fbremote.Client
+module Cid = Fbchunk.Cid
+
+(* --- codecs --- *)
+
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> Wire.Str s) string;
+        map (fun s -> Wire.Blob s) string;
+        map (fun l -> Wire.List l) (small_list string);
+        map (fun l -> Wire.Map l) (small_list (pair string string));
+        map (fun l -> Wire.Set l) (small_list string);
+      ])
+
+let gen_cid = QCheck.Gen.map (fun s -> Cid.digest s) QCheck.Gen.string
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun (key, branch) value ->
+            Wire.Put { key; branch; context = "ctx"; value })
+          (pair string string) gen_value;
+        map (fun (key, branch) -> Wire.Get { key; branch }) (pair string string);
+        map (fun uid -> Wire.Get_version { uid }) gen_cid;
+        map
+          (fun (key, a, b) -> Wire.Fork { key; from_branch = a; new_branch = b })
+          (triple string string string);
+        map
+          (fun (key, t, r) -> Wire.Merge { key; target = t; ref_branch = r; resolver = "left" })
+          (triple string string string);
+        map
+          (fun (key, lo, hi) -> Wire.Track { key; branch = "master"; lo; hi })
+          (triple string small_nat small_nat);
+        return Wire.List_keys;
+        map (fun key -> Wire.List_branches { key }) string;
+        map (fun uid -> Wire.Verify { uid }) gen_cid;
+        return Wire.Quit;
+      ])
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun uid -> Wire.Uid uid) gen_cid;
+        map (fun v -> Wire.Value v) gen_value;
+        return Wire.Ok_unit;
+        map (fun ks -> Wire.Keys ks) (small_list string);
+        map (fun bs -> Wire.Branches bs) (small_list (pair string gen_cid));
+        map (fun hs -> Wire.History hs) (small_list (pair small_nat gen_cid));
+        map (fun b -> Wire.Bool b) bool;
+        map (fun m -> Wire.Error m) string;
+      ])
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"wire request round-trip" ~count:300
+    (QCheck.make gen_request)
+    (fun req -> Wire.decode_request (Wire.encode_request req) = req)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"wire response round-trip" ~count:300
+    (QCheck.make gen_response)
+    (fun resp -> Wire.decode_response (Wire.encode_response resp) = resp)
+
+(* --- handler semantics without sockets --- *)
+
+let test_handle () =
+  let db = Forkbase.Db.create (Fbchunk.Chunk_store.mem_store ()) in
+  (match
+     Server.handle db
+       (Wire.Put { key = "k"; branch = "master"; context = ""; value = Wire.Str "v" })
+   with
+  | Wire.Uid _ -> ()
+  | _ -> Alcotest.fail "put");
+  (match Server.handle db (Wire.Get { key = "k"; branch = "master" }) with
+  | Wire.Value (Wire.Str "v") -> ()
+  | _ -> Alcotest.fail "get");
+  (match Server.handle db (Wire.Get { key = "nope"; branch = "master" }) with
+  | Wire.Error _ -> ()
+  | _ -> Alcotest.fail "unknown key should error");
+  match Server.handle db Wire.List_keys with
+  | Wire.Keys [ "k" ] -> ()
+  | _ -> Alcotest.fail "keys"
+
+(* --- full TCP round trip --- *)
+
+let test_tcp_session () =
+  let listen_fd = Server.listen ~port:0 () in
+  let port = Server.bound_port listen_fd in
+  match Unix.fork () with
+  | 0 ->
+      (* child: run the server until Quit *)
+      let db = Forkbase.Db.create (Fbchunk.Chunk_store.mem_store ()) in
+      (try Server.serve db listen_fd with _ -> ());
+      Unix._exit 0
+  | server_pid ->
+      Unix.close listen_fd;
+      Fun.protect
+        ~finally:(fun () -> ignore (Unix.waitpid [] server_pid))
+        (fun () ->
+          let c = Client.connect ~port in
+          (* a realistic session: put, fork, edit, merge, track, verify *)
+          let v1 = Client.put c ~key:"page" (Wire.Blob "hello network") in
+          Client.fork c ~key:"page" ~from_branch:"master" ~new_branch:"draft";
+          let (_ : Cid.t) =
+            Client.put ~branch:"draft" c ~key:"page" (Wire.Blob "hello network, edited")
+          in
+          (match Client.get ~branch:"draft" c ~key:"page" with
+          | Wire.Blob "hello network, edited" -> ()
+          | _ -> Alcotest.fail "draft content");
+          (match Client.get c ~key:"page" with
+          | Wire.Blob "hello network" -> ()
+          | _ -> Alcotest.fail "master isolated");
+          let merged =
+            Client.merge ~resolver:"right" c ~key:"page" ~target:"master"
+              ~ref_branch:"draft"
+          in
+          (match Client.get c ~key:"page" with
+          | Wire.Blob "hello network, edited" -> ()
+          | _ -> Alcotest.fail "merged content");
+          let history = Client.track c ~key:"page" ~lo:0 ~hi:10 in
+          Alcotest.(check bool) "history reaches v1" true
+            (List.exists (fun (_, uid) -> Cid.equal uid v1) history);
+          Alcotest.(check bool) "verify over the wire" true (Client.verify c merged);
+          Alcotest.(check (list string)) "keys" [ "page" ] (Client.list_keys c);
+          (* maps over the wire *)
+          let (_ : Cid.t) =
+            Client.put c ~key:"scores" (Wire.Map [ ("a", "1"); ("b", "2") ])
+          in
+          (match Client.get c ~key:"scores" with
+          | Wire.Map [ ("a", "1"); ("b", "2") ] -> ()
+          | _ -> Alcotest.fail "map round trip");
+          Client.quit_server c;
+          Client.close c)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "remote"
+    [
+      ("wire", [ q prop_request_roundtrip; q prop_response_roundtrip ]);
+      ( "server",
+        [
+          Alcotest.test_case "handler" `Quick test_handle;
+          Alcotest.test_case "tcp session" `Quick test_tcp_session;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+(* Collaborative analytics: row/column ForkBase layouts and the OrpheusDB
+   stand-in must agree on dataset semantics. *)
+
+module Db = Forkbase.Db
+module Dataset = Workload.Dataset
+module Row = Tabular.Table_row
+module Col = Tabular.Table_col
+module O = Orpheus
+
+let fresh_db () = Db.create (Fbchunk.Chunk_store.mem_store ())
+let records n = Dataset.generate ~seed:42L ~n
+
+let test_dataset_gen () =
+  let rs = records 100 in
+  Alcotest.(check int) "count" 100 (Array.length rs);
+  Array.iter
+    (fun r ->
+      Alcotest.(check int) "pk length" 12 (String.length r.Dataset.pk);
+      let row = Dataset.to_csv_row r in
+      Alcotest.(check bool) "csv roundtrip" true (Dataset.of_csv_row row = r))
+    rs;
+  (* deterministic *)
+  Alcotest.(check bool) "deterministic" true (records 100 = rs);
+  (* ~180 bytes/record like the paper's dataset *)
+  let avg =
+    Array.fold_left (fun a r -> a + String.length (Dataset.to_csv_row r)) 0 rs / 100
+  in
+  Alcotest.(check bool) (Printf.sprintf "avg record size %d in [120,240]" avg) true
+    (avg >= 120 && avg <= 240)
+
+let test_row_layout () =
+  let db = fresh_db () in
+  let rs = records 500 in
+  let (_ : Fbchunk.Cid.t) = Row.import db ~name:"t" rs in
+  let t = Option.get (Row.load db ~name:"t") in
+  Alcotest.(check int) "cardinal" 500 (Row.cardinal t);
+  Alcotest.(check bool) "point lookup" true
+    (Row.record t ~pk:rs.(123).Dataset.pk = Some rs.(123));
+  let expected = Array.fold_left (fun a r -> a + r.Dataset.qty) 0 rs in
+  Alcotest.(check int) "sum(qty)" expected (Row.sum_qty t)
+
+let test_row_update_and_diff () =
+  let db = fresh_db () in
+  let rs = records 500 in
+  let v1 = Row.import db ~name:"t" rs in
+  let rng = Fbutil.Splitmix.create 1L in
+  let changed = [ Dataset.mutate rng rs.(10); Dataset.mutate rng rs.(20) ] in
+  let v2 = Row.update db ~name:"t" changed in
+  let t1 = Option.get (Row.load_version db v1) in
+  let t2 = Option.get (Row.load_version db v2) in
+  Alcotest.(check int) "2 records differ" 2 (Row.diff_count t1 t2);
+  Alcotest.(check int) "same cardinality" 500 (Row.cardinal t2);
+  Alcotest.(check bool) "old version intact" true
+    (Row.record t1 ~pk:rs.(10).Dataset.pk = Some rs.(10))
+
+let test_col_layout () =
+  let db = fresh_db () in
+  let rs = records 300 in
+  let (_ : Fbchunk.Cid.t) = Col.import db ~name:"t" rs in
+  let t = Option.get (Col.load db ~name:"t") in
+  Alcotest.(check int) "length" 300 (Col.length t);
+  Alcotest.(check bool) "record_at" true (Col.record_at t 42 = rs.(42));
+  let expected = Array.fold_left (fun a r -> a + r.Dataset.qty) 0 rs in
+  Alcotest.(check int) "sum(qty)" expected (Col.sum_qty t)
+
+let test_col_update () =
+  let db = fresh_db () in
+  let rs = records 300 in
+  let (_ : Fbchunk.Cid.t) = Col.import db ~name:"t" rs in
+  let rng = Fbutil.Splitmix.create 2L in
+  let r10 = Dataset.mutate rng rs.(10) and r250 = Dataset.mutate rng rs.(250) in
+  let (_ : Fbchunk.Cid.t) = Col.update_at db ~name:"t" [ (250, r250); (10, r10) ] in
+  let t = Option.get (Col.load db ~name:"t") in
+  Alcotest.(check bool) "updated 10" true (Col.record_at t 10 = r10);
+  Alcotest.(check bool) "updated 250" true (Col.record_at t 250 = r250);
+  Alcotest.(check bool) "untouched" true (Col.record_at t 100 = rs.(100))
+
+let test_layouts_agree () =
+  let db = fresh_db () in
+  let rs = records 400 in
+  let (_ : Fbchunk.Cid.t) = Row.import db ~name:"r" rs in
+  let (_ : Fbchunk.Cid.t) = Col.import db ~name:"c" rs in
+  let row = Option.get (Row.load db ~name:"r") in
+  let col = Option.get (Col.load db ~name:"c") in
+  Alcotest.(check int) "aggregates agree" (Row.sum_qty row) (Col.sum_qty col)
+
+let test_orpheus_basic () =
+  let o = O.create () in
+  let rs = records 200 in
+  let v1 = O.import o rs in
+  Alcotest.(check bool) "checkout returns copy" true (O.checkout o v1 = rs);
+  let expected = Array.fold_left (fun a r -> a + r.Dataset.qty) 0 rs in
+  Alcotest.(check int) "sum qty" expected (O.sum_qty o v1)
+
+let test_orpheus_commit_shares_unchanged () =
+  let o = O.create () in
+  let rs = records 200 in
+  let v1 = O.import o rs in
+  let working = O.checkout o v1 in
+  let rng = Fbutil.Splitmix.create 3L in
+  working.(7) <- Dataset.mutate rng working.(7);
+  let v2 = O.commit o ~parent:v1 working in
+  Alcotest.(check int) "only 1 new record" 201 (O.record_count o);
+  Alcotest.(check int) "1 row differs" 1 (O.diff_versions o v1 v2);
+  Alcotest.(check bool) "old version intact" true ((O.checkout o v1).(7) = rs.(7));
+  Alcotest.(check bool) "new version updated" true
+    ((O.checkout o v2).(7) = working.(7))
+
+let test_orpheus_space_per_version () =
+  (* Every commit writes a full rid vector: space grows with versions even
+     when nothing changes — the Fig 16b mechanism. *)
+  let o = O.create () in
+  let rs = records 1000 in
+  let v1 = O.import o rs in
+  let s1 = O.storage_bytes o in
+  let working = O.checkout o v1 in
+  let v2 = O.commit o ~parent:v1 working in
+  let s2 = O.storage_bytes o in
+  ignore v2;
+  Alcotest.(check bool)
+    (Printf.sprintf "identical commit still costs %d bytes" (s2 - s1))
+    true
+    (s2 - s1 >= 8 * 1000)
+
+let test_forkbase_vs_orpheus_space () =
+  (* Fig 16b shape: for a small update, ForkBase's space increment is far
+     below Orpheus's (vector + changed records). *)
+  let db = fresh_db () in
+  let o = O.create () in
+  let rs = records 2000 in
+  let (_ : Fbchunk.Cid.t) = Row.import db ~name:"t" rs in
+  let ov1 = O.import o rs in
+  let fb_before = ((Db.store db).Fbchunk.Chunk_store.stats ()).Fbchunk.Chunk_store.bytes in
+  let o_before = O.storage_bytes o in
+  let rng = Fbutil.Splitmix.create 4L in
+  let working = O.checkout o ov1 in
+  (* A clustered modification (consecutive rows), as produced by a range
+     UPDATE: ForkBase rewrites only the few chunks covering the range,
+     while Orpheus always rewrites a full rid vector. *)
+  let updates = ref [] in
+  for i = 0 to 19 do
+    let idx = 500 + i in
+    let r = Dataset.mutate rng rs.(idx) in
+    working.(idx) <- r;
+    updates := r :: !updates
+  done;
+  let (_ : Fbchunk.Cid.t) = Row.update db ~name:"t" !updates in
+  let (_ : O.version) = O.commit o ~parent:ov1 working in
+  let fb_inc = ((Db.store db).Fbchunk.Chunk_store.stats ()).Fbchunk.Chunk_store.bytes - fb_before in
+  let o_inc = O.storage_bytes o - o_before in
+  Alcotest.(check bool)
+    (Printf.sprintf "forkbase increment %d < orpheus %d" fb_inc o_inc)
+    true (fb_inc < o_inc)
+
+let () =
+  Alcotest.run "tabular"
+    [
+      ( "dataset",
+        [ Alcotest.test_case "generator" `Quick test_dataset_gen ] );
+      ( "row",
+        [
+          Alcotest.test_case "import/query" `Quick test_row_layout;
+          Alcotest.test_case "update/diff" `Quick test_row_update_and_diff;
+        ] );
+      ( "col",
+        [
+          Alcotest.test_case "import/query" `Quick test_col_layout;
+          Alcotest.test_case "positional update" `Quick test_col_update;
+          Alcotest.test_case "layouts agree" `Quick test_layouts_agree;
+        ] );
+      ( "orpheus",
+        [
+          Alcotest.test_case "import/checkout" `Quick test_orpheus_basic;
+          Alcotest.test_case "commit shares rids" `Quick
+            test_orpheus_commit_shares_unchanged;
+          Alcotest.test_case "space per version" `Quick test_orpheus_space_per_version;
+          Alcotest.test_case "space vs forkbase" `Quick test_forkbase_vs_orpheus_space;
+        ] );
+    ]

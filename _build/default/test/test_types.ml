@@ -1,0 +1,278 @@
+(* Built-in data types: primitives, Blob, List, Map, Set, Value payloads. *)
+
+module Store = Fbchunk.Chunk_store
+module Prim = Fbtypes.Prim
+module Fblob = Fbtypes.Fblob
+module Flist = Fbtypes.Flist
+module Fmap = Fbtypes.Fmap
+module Fset = Fbtypes.Fset
+module Value = Fbtypes.Value
+
+let cfg = Fbtree.Tree_config.with_leaf_bits 8
+let fresh () = Store.mem_store ()
+
+(* --- primitives --- *)
+
+let prim_roundtrip p =
+  let buf = Buffer.create 32 in
+  Prim.encode buf p;
+  let r = Fbutil.Codec.reader (Buffer.contents buf) in
+  let p' = Prim.decode r in
+  Fbutil.Codec.expect_end r;
+  Prim.equal p p'
+
+let qcheck_prim_roundtrip =
+  QCheck.Test.make ~name:"prim encode/decode round-trip" ~count:300
+    QCheck.(
+      oneof
+        [
+          map (fun s -> Prim.Str s) string;
+          map (fun i -> Prim.Int i) int64;
+          map (fun l -> Prim.Tuple l) (list small_string);
+        ])
+    prim_roundtrip
+
+let test_prim_ops () =
+  Alcotest.(check bool) "append str" true
+    (Prim.equal (Prim.append (Prim.Str "ab") "cd") (Prim.Str "abcd"));
+  Alcotest.(check bool) "append tuple" true
+    (Prim.equal (Prim.append (Prim.Tuple [ "a" ]) "b") (Prim.Tuple [ "a"; "b" ]));
+  Alcotest.(check bool) "insert str" true
+    (Prim.equal (Prim.insert (Prim.Str "ad") 1 "bc") (Prim.Str "abcd"));
+  Alcotest.(check bool) "insert tuple" true
+    (Prim.equal
+       (Prim.insert (Prim.Tuple [ "a"; "c" ]) 1 "b")
+       (Prim.Tuple [ "a"; "b"; "c" ]));
+  Alcotest.(check bool) "add" true
+    (Prim.equal (Prim.add (Prim.Int 40L) 2L) (Prim.Int 42L));
+  Alcotest.(check bool) "multiply" true
+    (Prim.equal (Prim.multiply (Prim.Int 6L) 7L) (Prim.Int 42L));
+  (match Prim.add (Prim.Str "x") 1L with
+  | exception Prim.Type_mismatch _ -> ()
+  | _ -> Alcotest.fail "add on Str should fail");
+  match Prim.append (Prim.Int 1L) "x" with
+  | exception Prim.Type_mismatch _ -> ()
+  | _ -> Alcotest.fail "append on Int should fail"
+
+(* --- blob --- *)
+
+let test_blob_basic () =
+  let store = fresh () in
+  let b = Fblob.create store cfg "hello forkbase blob" in
+  Alcotest.(check int) "length" 19 (Fblob.length b);
+  Alcotest.(check string) "read" "forkbase" (Fblob.read b ~pos:6 ~len:8);
+  Alcotest.(check string) "to_string" "hello forkbase blob" (Fblob.to_string b)
+
+let test_blob_paper_example () =
+  (* The Figure 4 workflow: remove 10 bytes from the beginning, append. *)
+  let store = fresh () in
+  let b = Fblob.create store cfg "0123456789my value" in
+  let b = Fblob.remove b ~pos:0 ~len:10 in
+  let b = Fblob.append b "some more" in
+  Alcotest.(check string) "edited" "my valuesome more" (Fblob.to_string b)
+
+let qcheck_blob_bulk_build =
+  QCheck.Test.make ~name:"blob bulk build = per-byte build (same root)" ~count:60
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 20_000))
+    (fun s ->
+      let store = fresh () in
+      let bulk = Fblob.create store cfg s in
+      (* splicing the full content into an empty blob feeds elements one at
+         a time through the generic chunker *)
+      let elementwise = Fblob.splice (Fblob.empty store cfg) ~pos:0 ~del:0 ~ins:s in
+      Fblob.equal bulk elementwise)
+
+let qcheck_blob_splice =
+  QCheck.Test.make ~name:"blob splice matches string model" ~count:100
+    QCheck.(
+      quad (string_of_size (QCheck.Gen.int_range 0 3000)) small_nat small_nat
+        small_string)
+    (fun (s, pos, del, ins) ->
+      let n = String.length s in
+      let pos = if n = 0 then 0 else pos mod (n + 1) in
+      let del = min del (n - pos) in
+      let store = fresh () in
+      let b = Fblob.create store cfg s in
+      let b' = Fblob.splice b ~pos ~del ~ins in
+      let expected = String.sub s 0 pos ^ ins ^ String.sub s (pos + del) (n - pos - del) in
+      Fblob.to_string b' = expected)
+
+let test_blob_dedup_versions () =
+  let store = fresh () in
+  let page = String.init 15_000 (fun i -> Char.chr (65 + ((i * 7) mod 26))) in
+  let v1 = Fblob.create store cfg page in
+  let bytes_v1 = (store.Store.stats ()).Store.bytes in
+  (* 20 successive small edits: storage should grow far slower than
+     20 × page size thanks to chunk sharing. *)
+  let b = ref v1 in
+  for i = 1 to 20 do
+    b := Fblob.overwrite !b ~pos:(i * 300) (Printf.sprintf "EDIT%04d" i)
+  done;
+  let bytes_total = (store.Store.stats ()).Store.bytes in
+  let growth = bytes_total - bytes_v1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "dedup keeps growth small (%d bytes for 20 versions)" growth)
+    true
+    (growth < 6 * 15_000)
+
+(* --- list --- *)
+
+let test_list_ops () =
+  let store = fresh () in
+  let l = Flist.create store cfg [ "a"; "b"; "c" ] in
+  let l = Flist.push_back l "d" in
+  let l = Flist.insert l ~pos:0 [ "z" ] in
+  let l = Flist.set l 2 "B" in
+  Alcotest.(check (list string)) "ops" [ "z"; "a"; "B"; "c"; "d" ] (Flist.to_list l);
+  let l = Flist.remove l ~pos:1 ~len:2 in
+  Alcotest.(check (list string)) "remove" [ "z"; "c"; "d" ] (Flist.to_list l);
+  Alcotest.(check string) "get" "c" (Flist.get l 1)
+
+let test_list_empty_elements () =
+  let store = fresh () in
+  let l = Flist.create store cfg [ ""; "x"; ""; "" ] in
+  Alcotest.(check (list string)) "empty elems survive" [ ""; "x"; ""; "" ]
+    (Flist.to_list l)
+
+(* --- map --- *)
+
+let test_map_ops () =
+  let store = fresh () in
+  let m = Fmap.create store cfg [ ("b", "2"); ("a", "1"); ("c", "3") ] in
+  Alcotest.(check (option string)) "find" (Some "2") (Fmap.find m "b");
+  Alcotest.(check bool) "mem" true (Fmap.mem m "a");
+  Alcotest.(check bool) "not mem" false (Fmap.mem m "z");
+  let m = Fmap.set m "b" "22" in
+  let m = Fmap.remove m "a" in
+  Alcotest.(check (list (pair string string)))
+    "bindings sorted" [ ("b", "22"); ("c", "3") ] (Fmap.bindings m);
+  Alcotest.(check int) "cardinal" 2 (Fmap.cardinal m)
+
+let test_map_last_wins () =
+  let store = fresh () in
+  let m = Fmap.create store cfg [ ("k", "first"); ("k", "second") ] in
+  Alcotest.(check (option string)) "duplicate keys: last wins" (Some "second")
+    (Fmap.find m "k")
+
+let test_map_diff () =
+  let store = fresh () in
+  let kvs = List.init 500 (fun i -> (Printf.sprintf "key%04d" i, "v")) in
+  let m1 = Fmap.create store cfg kvs in
+  let m2 = Fmap.set m1 "key0100" "changed" in
+  let m2 = Fmap.remove m2 "key0200" in
+  let m2 = Fmap.set m2 "newkey" "added" in
+  let d = Fmap.diff m1 m2 in
+  Alcotest.(check int) "three differences" 3 (List.length d);
+  List.iter
+    (fun (k, change) ->
+      match (k, change) with
+      | "key0100", `Changed ("v", "changed") -> ()
+      | "key0200", `Left "v" -> ()
+      | "newkey", `Right "added" -> ()
+      | k, _ -> Alcotest.fail ("unexpected diff entry " ^ k))
+    d;
+  Alcotest.(check (list (pair string string)))
+    "diff of equal maps is empty" []
+    (List.map (fun (k, _) -> (k, "")) (Fmap.diff m1 m1))
+
+let test_map_equal_independent_of_insertion_order () =
+  let store = fresh () in
+  let kvs = List.init 300 (fun i -> (Printf.sprintf "key%04d" i, string_of_int i)) in
+  let m1 = Fmap.create store cfg kvs in
+  let m2 = Fmap.create store cfg (List.rev kvs) in
+  let m3 =
+    List.fold_left (fun m (k, v) -> Fmap.set m k v) (Fmap.empty store cfg) kvs
+  in
+  Alcotest.(check bool) "reverse insertion" true (Fmap.equal m1 m2);
+  Alcotest.(check bool) "one-by-one insertion" true (Fmap.equal m1 m3)
+
+(* --- set --- *)
+
+let test_set_ops () =
+  let store = fresh () in
+  let s = Fset.create store cfg [ "b"; "a"; "b"; "c" ] in
+  Alcotest.(check (list string)) "dedup + sorted" [ "a"; "b"; "c" ] (Fset.elements s);
+  let s = Fset.add s "d" in
+  let s = Fset.remove s "a" in
+  Alcotest.(check bool) "mem" true (Fset.mem s "d");
+  Alcotest.(check bool) "removed" false (Fset.mem s "a");
+  let s2 = Fset.create store cfg [ "b"; "c"; "d" ] in
+  Alcotest.(check bool) "equal" true (Fset.equal s s2)
+
+let test_set_diff () =
+  let store = fresh () in
+  let s1 = Fset.create store cfg [ "a"; "b"; "c" ] in
+  let s2 = Fset.create store cfg [ "b"; "c"; "d" ] in
+  match Fset.diff s1 s2 with
+  | [ `Left "a"; `Right "d" ] -> ()
+  | _ -> Alcotest.fail "unexpected set diff"
+
+(* --- value payload round-trip --- *)
+
+let test_value_roundtrip () =
+  let store = fresh () in
+  let values =
+    [
+      Value.Prim (Prim.Str "hello");
+      Value.Prim (Prim.Int 123L);
+      Value.Prim (Prim.Tuple [ "a"; "b" ]);
+      Value.Blob (Fblob.create store cfg (String.make 5000 'q'));
+      Value.List (Flist.create store cfg [ "x"; "y" ]);
+      Value.Map (Fmap.create store cfg [ ("k", "v") ]);
+      Value.Set (Fset.create store cfg [ "m" ]);
+    ]
+  in
+  List.iter
+    (fun v ->
+      let payload = Value.payload v in
+      let v' = Value.of_payload store cfg (Value.kind v) payload in
+      Alcotest.(check bool)
+        ("roundtrip " ^ Value.kind_to_string (Value.kind v))
+        true (Value.equal v v'))
+    values
+
+let test_value_kind_bytes () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "kind byte roundtrip" true
+        (Value.kind_of_byte (Value.kind_to_byte k) = k))
+    [ Value.Kprim; Value.Kblob; Value.Klist; Value.Kmap; Value.Kset ]
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "types"
+    [
+      ( "prim",
+        [ q qcheck_prim_roundtrip; Alcotest.test_case "operations" `Quick test_prim_ops ] );
+      ( "blob",
+        [
+          Alcotest.test_case "basic" `Quick test_blob_basic;
+          Alcotest.test_case "paper example (fig 4)" `Quick test_blob_paper_example;
+          q qcheck_blob_bulk_build;
+          q qcheck_blob_splice;
+          Alcotest.test_case "version dedup" `Quick test_blob_dedup_versions;
+        ] );
+      ( "list",
+        [
+          Alcotest.test_case "operations" `Quick test_list_ops;
+          Alcotest.test_case "empty elements" `Quick test_list_empty_elements;
+        ] );
+      ( "map",
+        [
+          Alcotest.test_case "operations" `Quick test_map_ops;
+          Alcotest.test_case "last wins" `Quick test_map_last_wins;
+          Alcotest.test_case "diff" `Quick test_map_diff;
+          Alcotest.test_case "insertion-order independence" `Quick
+            test_map_equal_independent_of_insertion_order;
+        ] );
+      ( "set",
+        [
+          Alcotest.test_case "operations" `Quick test_set_ops;
+          Alcotest.test_case "diff" `Quick test_set_diff;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "payload roundtrip" `Quick test_value_roundtrip;
+          Alcotest.test_case "kind bytes" `Quick test_value_kind_bytes;
+        ] );
+    ]

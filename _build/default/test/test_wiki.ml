@@ -1,0 +1,189 @@
+(* Wiki engines (ForkBase vs Redis-like) + the LZSS compressor and the
+   Redis stand-in itself. *)
+
+module R = Redislike.Redis
+module Lzss = Redislike.Lzss
+
+(* --- lzss --- *)
+
+let prop_lzss_roundtrip =
+  QCheck.Test.make ~name:"lzss round-trip" ~count:200
+    QCheck.(string_of_size (QCheck.Gen.int_bound 5000))
+    (fun s -> Lzss.decompress (Lzss.compress s) = s)
+
+let test_lzss_compresses_repetition () =
+  let s = String.concat "" (List.init 100 (fun _ -> "the same phrase again. ")) in
+  let c = Lzss.compressed_size s in
+  Alcotest.(check bool)
+    (Printf.sprintf "repetitive text shrinks (%d -> %d)" (String.length s) c)
+    true
+    (c < String.length s / 4)
+
+let test_lzss_overlapping_match () =
+  (* 'aaaa...' forces matches that overlap their own output. *)
+  let s = String.make 1000 'a' in
+  Alcotest.(check string) "overlap decode" s (Lzss.decompress (Lzss.compress s))
+
+(* --- redis-like --- *)
+
+let test_redis_strings () =
+  let r = R.create () in
+  R.set r "k" "v1";
+  Alcotest.(check (option string)) "get" (Some "v1") (R.get r "k");
+  R.set r "k" "v2";
+  Alcotest.(check (option string)) "overwrite" (Some "v2") (R.get r "k");
+  Alcotest.(check (option string)) "absent" None (R.get r "missing")
+
+let test_redis_lists () =
+  let r = R.create () in
+  Alcotest.(check int) "rpush 1" 1 (R.rpush r "l" "a");
+  Alcotest.(check int) "rpush 2" 2 (R.rpush r "l" "b");
+  Alcotest.(check int) "rpush 3" 3 (R.rpush r "l" "c");
+  Alcotest.(check int) "llen" 3 (R.llen r "l");
+  Alcotest.(check (option string)) "lindex 0" (Some "a") (R.lindex r "l" 0);
+  Alcotest.(check (option string)) "lindex -1" (Some "c") (R.lindex r "l" (-1));
+  Alcotest.(check (option string)) "lindex -2" (Some "b") (R.lindex r "l" (-2));
+  Alcotest.(check (option string)) "out of range" None (R.lindex r "l" 5);
+  Alcotest.(check (list string)) "lrange" [ "a"; "b"; "c" ] (R.lrange r "l" 0 (-1))
+
+let test_redis_accounting () =
+  let r = R.create () in
+  let v = String.make 1000 'x' in
+  let (_ : int) = R.rpush r "l" v in
+  let (_ : int) = R.rpush r "l" v in
+  Alcotest.(check int) "memory = raw" 2000 (R.memory_bytes r);
+  Alcotest.(check bool) "persisted compressed" true (R.persisted_bytes r < 2000)
+
+(* --- wiki engines --- *)
+
+let engines () =
+  [
+    Wiki.forkbase_engine (Fbchunk.Chunk_store.mem_store ());
+    Wiki.redis_engine (R.create ());
+  ]
+
+let test_engines_agree () =
+  List.iter
+    (fun e ->
+      let name = e.Wiki.name in
+      e.Wiki.save ~page:"Home" ~content:"version one";
+      e.Wiki.save ~page:"Home" ~content:"version two";
+      e.Wiki.save ~page:"Home" ~content:"version three";
+      Alcotest.(check (option string))
+        (name ^ " latest") (Some "version three")
+        (e.Wiki.read_latest ~page:"Home");
+      Alcotest.(check (option string))
+        (name ^ " back 1") (Some "version two")
+        (e.Wiki.read_back ~page:"Home" ~back:1);
+      Alcotest.(check (option string))
+        (name ^ " back 2") (Some "version one")
+        (e.Wiki.read_back ~page:"Home" ~back:2);
+      Alcotest.(check (option string))
+        (name ^ " too far") None
+        (e.Wiki.read_back ~page:"Home" ~back:3);
+      Alcotest.(check int) (name ^ " versions") 3
+        (e.Wiki.version_count ~page:"Home");
+      Alcotest.(check (option string))
+        (name ^ " missing page") None
+        (e.Wiki.read_latest ~page:"Nope"))
+    (engines ())
+
+let test_forkbase_dedup_beats_redis () =
+  let store = Fbchunk.Chunk_store.mem_store () in
+  let fb = Wiki.forkbase_engine store in
+  let redis = Wiki.redis_engine (R.create ()) in
+  let rng = Fbutil.Splitmix.create 7L in
+  let page = Workload.Text_edit.initial_page ~seed:3L ~size:15_000 in
+  List.iter (fun e -> e.Wiki.save ~page:"P" ~content:page) [ fb; redis ];
+  let current = ref page in
+  for _ = 1 to 30 do
+    let edit =
+      Workload.Text_edit.random_edit rng ~page_len:(String.length !current)
+        ~update_ratio:0.9 ~edit_size:64
+    in
+    current := Workload.Text_edit.apply !current edit;
+    List.iter (fun e -> e.Wiki.save ~page:"P" ~content:!current) [ fb; redis ]
+  done;
+  let fb_bytes = fb.Wiki.storage_bytes () in
+  let redis_bytes = redis.Wiki.storage_bytes () in
+  Alcotest.(check bool)
+    (Printf.sprintf "forkbase %d < redis %d" fb_bytes redis_bytes)
+    true (fb_bytes < redis_bytes);
+  Alcotest.(check (option string)) "contents agree"
+    (fb.Wiki.read_latest ~page:"P")
+    (redis.Wiki.read_latest ~page:"P")
+
+let test_client_cache_reduces_transfer () =
+  let store = Fbchunk.Chunk_store.mem_store () in
+  let server = Wiki.forkbase_server store in
+  let fb = Wiki.forkbase_client ~client_cache:8192 server in
+  let page = Workload.Text_edit.initial_page ~seed:5L ~size:60_000 in
+  fb.Wiki.save ~page:"P" ~content:page;
+  let rng = Fbutil.Splitmix.create 11L in
+  let current = ref page in
+  for _ = 1 to 5 do
+    let edit =
+      Workload.Text_edit.random_edit rng ~page_len:(String.length !current)
+        ~update_ratio:1.0 ~edit_size:32
+    in
+    current := Workload.Text_edit.apply !current edit;
+    fb.Wiki.save ~page:"P" ~content:!current
+  done;
+  (* A fresh client has a cold cache: its first read transfers the whole
+     page… *)
+  let reader = Wiki.forkbase_client ~client_cache:8192 server in
+  let before = reader.Wiki.net_read_bytes () in
+  let (_ : string option) = reader.Wiki.read_back ~page:"P" ~back:0 in
+  let cost_first = reader.Wiki.net_read_bytes () - before in
+  (* …but older versions share most chunks with what is now cached. *)
+  let before = reader.Wiki.net_read_bytes () in
+  let (_ : string option) = reader.Wiki.read_back ~page:"P" ~back:1 in
+  let cost_old = reader.Wiki.net_read_bytes () - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "cached read %d << first read %d" cost_old cost_first)
+    true
+    (cost_old * 2 < cost_first)
+
+let test_diff_size () =
+  List.iter
+    (fun e ->
+      let name = e.Wiki.name in
+      let page = Workload.Text_edit.initial_page ~seed:2L ~size:10_000 in
+      e.Wiki.save ~page:"D" ~content:page;
+      let edited = Workload.Text_edit.apply page (Workload.Text_edit.Overwrite (5000, "XYZXYZ")) in
+      e.Wiki.save ~page:"D" ~content:edited;
+      match e.Wiki.diff_size ~page:"D" ~back:1 with
+      | None -> Alcotest.fail (name ^ ": no diff")
+      | Some n ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s diff is local (%d)" name n)
+            true
+            (n > 0 && n < 6000))
+    (engines ())
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "wiki"
+    [
+      ( "lzss",
+        [
+          q prop_lzss_roundtrip;
+          Alcotest.test_case "compresses repetition" `Quick
+            test_lzss_compresses_repetition;
+          Alcotest.test_case "overlapping matches" `Quick test_lzss_overlapping_match;
+        ] );
+      ( "redis",
+        [
+          Alcotest.test_case "strings" `Quick test_redis_strings;
+          Alcotest.test_case "lists" `Quick test_redis_lists;
+          Alcotest.test_case "accounting" `Quick test_redis_accounting;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "engines agree" `Quick test_engines_agree;
+          Alcotest.test_case "dedup beats full copies" `Quick
+            test_forkbase_dedup_beats_redis;
+          Alcotest.test_case "client cache" `Quick test_client_cache_reduces_transfer;
+          Alcotest.test_case "diff size" `Quick test_diff_size;
+        ] );
+    ]

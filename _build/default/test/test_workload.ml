@@ -1,0 +1,103 @@
+(* Workload generators: distribution properties and determinism. *)
+
+module Zipf = Workload.Zipf
+module Ycsb = Workload.Ycsb
+module Text_edit = Workload.Text_edit
+
+let test_zipf_uniform () =
+  let z = Zipf.create ~n:10 ~theta:0.0 in
+  let rng = Fbutil.Splitmix.create 1L in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let i = Zipf.sample z rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c -> if c < 700 || c > 1300 then Alcotest.fail "theta=0 not uniform")
+    counts
+
+let test_zipf_skew () =
+  let z = Zipf.create ~n:100 ~theta:1.0 in
+  let rng = Fbutil.Splitmix.create 2L in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let i = Zipf.sample z rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "rank 0 hotter than rank 50" true (counts.(0) > 5 * counts.(50));
+  Alcotest.(check bool) "rank 0 roughly 1/H(100) of mass" true
+    (counts.(0) > 2_000 && counts.(0) < 6_000)
+
+let test_zipf_range () =
+  let z = Zipf.create ~n:7 ~theta:0.5 in
+  let rng = Fbutil.Splitmix.create 3L in
+  for _ = 1 to 1000 do
+    let i = Zipf.sample z rng in
+    if i < 0 || i >= 7 then Alcotest.fail "out of range"
+  done
+
+let test_ycsb_mix () =
+  let w = Ycsb.create { Ycsb.default with read_ratio = 0.7; seed = 5L } in
+  let ops = Ycsb.ops w 10_000 in
+  let reads = List.length (List.filter (function Ycsb.Read _ -> true | _ -> false) ops) in
+  Alcotest.(check bool)
+    (Printf.sprintf "read ratio %.2f ~ 0.7" (float_of_int reads /. 10_000.0))
+    true
+    (reads > 6_500 && reads < 7_500)
+
+let test_ycsb_deterministic () =
+  let mk () = Ycsb.ops (Ycsb.create { Ycsb.default with seed = 9L }) 100 in
+  Alcotest.(check bool) "same seed, same ops" true (mk () = mk ())
+
+let test_ycsb_value_size () =
+  let w = Ycsb.create { Ycsb.default with read_ratio = 0.0; value_size = 256 } in
+  List.iter
+    (function
+      | Ycsb.Update (_, v) ->
+          Alcotest.(check int) "value size" 256 (String.length v)
+      | Ycsb.Read _ -> Alcotest.fail "unexpected read")
+    (Ycsb.ops w 50)
+
+let test_ycsb_initial_load () =
+  let w = Ycsb.create { Ycsb.default with num_keys = 37 } in
+  let load = Ycsb.initial_load w in
+  Alcotest.(check int) "one per key" 37 (List.length load);
+  Alcotest.(check bool) "keys distinct" true
+    (List.length (List.sort_uniq compare (List.map fst load)) = 37)
+
+let test_text_edit_model () =
+  let rng = Fbutil.Splitmix.create 4L in
+  let page = Text_edit.initial_page ~seed:1L ~size:5000 in
+  Alcotest.(check int) "initial size" 5000 (String.length page);
+  (* overwrites preserve length; inserts grow it *)
+  let p = ref page in
+  for _ = 1 to 50 do
+    let e = Text_edit.random_edit rng ~page_len:(String.length !p) ~update_ratio:1.0 ~edit_size:32 in
+    p := Text_edit.apply !p e
+  done;
+  Alcotest.(check int) "100U keeps size" 5000 (String.length !p);
+  for _ = 1 to 10 do
+    let e = Text_edit.random_edit rng ~page_len:(String.length !p) ~update_ratio:0.0 ~edit_size:32 in
+    p := Text_edit.apply !p e
+  done;
+  Alcotest.(check int) "inserts grow" (5000 + 320) (String.length !p)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "uniform" `Quick test_zipf_uniform;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "range" `Quick test_zipf_range;
+        ] );
+      ( "ycsb",
+        [
+          Alcotest.test_case "mix" `Quick test_ycsb_mix;
+          Alcotest.test_case "deterministic" `Quick test_ycsb_deterministic;
+          Alcotest.test_case "value size" `Quick test_ycsb_value_size;
+          Alcotest.test_case "initial load" `Quick test_ycsb_initial_load;
+        ] );
+      ( "text-edit",
+        [ Alcotest.test_case "model" `Quick test_text_edit_model ] );
+    ]
