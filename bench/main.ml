@@ -23,6 +23,7 @@ let experiments : (string * string * (Bench_util.scale -> unit)) list =
     ("ablation-rolling", "rolling-hash families", Bench_ablation.ablation_rolling);
     ("ablation-size", "chunk-size sweep", Bench_ablation.ablation_chunk_size);
     ("ablation-delta", "POS-Tree vs delta chains", Bench_ablation.ablation_delta);
+    ("durability", "journaled puts, recovery, compaction", Bench_persist.durability);
   ]
 
 let run_ids scale ids =

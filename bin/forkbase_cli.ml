@@ -1,8 +1,7 @@
-(* forkbase — a command-line client for a file-backed ForkBase store.
-
-   The chunk store persists in an append-only log (FORKBASE_DIR/chunks.log,
-   default ./forkbase-data); branch heads persist in a simple text file so
-   the CLI is stateless across invocations.
+(* forkbase — a command-line client for a durable, file-backed ForkBase
+   store (lib/persist): an append-only chunk log plus a write-ahead branch
+   journal in FORKBASE_DIR (default ./forkbase-data), so the CLI is
+   stateless and crash-safe across invocations.
 
      forkbase put  <key> <value> [--branch b]
      forkbase get  <key> [--branch b]
@@ -12,9 +11,11 @@
      forkbase merge <key> <target> <ref-branch> [--resolver r]
      forkbase keys
      forkbase verify <key> [--branch b]
-     forkbase stats *)
+     forkbase stats
+     forkbase checkpoint *)
 
 module Db = Forkbase.Db
+module Persist = Fbpersist.Persist
 module Value = Fbtypes.Value
 module Cid = Fbchunk.Cid
 
@@ -23,11 +24,11 @@ let data_dir () =
   | Some d -> d
   | None -> "./forkbase-data"
 
-(* Branch heads are re-applied on startup: key<TAB>branch<TAB>uid-hex. *)
-let heads_file dir = Filename.concat dir "heads.tsv"
-
-let load_heads db dir =
-  let path = heads_file dir in
+(* Pre-journal layouts kept branch heads in heads.tsv
+   (key<TAB>branch<TAB>uid-hex).  Restoring them through the db journals
+   them; the old file is then renamed away so migration runs once. *)
+let migrate_legacy_heads db dir =
+  let path = Filename.concat dir "heads.tsv" in
   if Sys.file_exists path then begin
     let ic = open_in path in
     (try
@@ -40,30 +41,21 @@ let load_heads db dir =
          | _ -> ()
        done
      with End_of_file -> ());
-    close_in ic
+    close_in ic;
+    Sys.rename path (path ^ ".migrated")
   end
 
-let save_heads db dir =
-  let oc = open_out (heads_file dir) in
-  List.iter
-    (fun key ->
-      List.iter
-        (fun (branch, uid) ->
-          Printf.fprintf oc "%s\t%s\t%s\n" key branch (Cid.to_hex uid))
-        (Db.list_tagged_branches db ~key))
-    (Db.list_keys db);
-  close_out oc
-
-let with_db f =
+let with_store f =
   let dir = data_dir () in
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let log = Fbchunk.Log_store.open_ (Filename.concat dir "chunks.log") in
-  let db = Db.create (Fbchunk.Log_store.store log) in
-  load_heads db dir;
-  let result = f db in
-  save_heads db dir;
-  Fbchunk.Log_store.close log;
-  result
+  match Persist.open_db dir with
+  | exception Persist.Corrupt_db c ->
+      Printf.eprintf "error: %s\n" (Persist.corruption_to_string c);
+      exit 1
+  | p ->
+      migrate_legacy_heads (Persist.db p) dir;
+      Fun.protect ~finally:(fun () -> Persist.close p) (fun () -> f p)
+
+let with_db f = with_store (fun p -> f (Persist.db p))
 
 let or_die = function
   | Ok v -> v
@@ -182,12 +174,14 @@ let verify_cmd =
 
 let serve_cmd =
   let run port =
-    with_db @@ fun db ->
+    with_store @@ fun p ->
     let listen_fd = Fbremote.Server.listen ~port () in
     Printf.printf "forkbase server listening on 127.0.0.1:%d (data in %s)\n%!"
       (Fbremote.Server.bound_port listen_fd)
       (data_dir ());
-    Fbremote.Server.serve db listen_fd
+    Fbremote.Server.serve
+      ~checkpoint:(fun () -> Persist.compact p)
+      (Persist.db p) listen_fd
   in
   let port_arg =
     Arg.(value & opt int 7878 & info [ "p"; "port" ] ~docv:"PORT")
@@ -199,11 +193,28 @@ let serve_cmd =
 
 let stats_cmd =
   let run () =
-    with_db @@ fun db ->
+    with_store @@ fun p ->
+    let db = Persist.db p in
     let s = (Db.store db).Fbchunk.Chunk_store.stats () in
-    Format.printf "%a@." Fbchunk.Chunk_store.pp_stats s
+    Format.printf "%a@." Fbchunk.Chunk_store.pp_stats s;
+    let garbage_chunks, garbage_bytes = Persist.garbage_stats p in
+    Format.printf "garbage: %d chunks, %d bytes (run 'forkbase checkpoint')@."
+      garbage_chunks garbage_bytes;
+    Format.printf "files: chunk log %d bytes, branch journal %d bytes@."
+      (Persist.chunk_log_size p) (Persist.journal_size p)
   in
   Cmd.v (Cmd.info "stats" ~doc:"chunk store statistics") Term.(const run $ const ())
+
+let checkpoint_cmd =
+  let run () =
+    with_store @@ fun p ->
+    let chunks, bytes = Persist.compact p in
+    Printf.printf "checkpointed; reclaimed %d chunks (%d bytes)\n" chunks bytes
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"snapshot branch tables and compact the chunk log")
+    Term.(const run $ const ())
 
 let () =
   let doc = "a tamper-evident, forkable key-value store (ForkBase)" in
@@ -213,5 +224,5 @@ let () =
        (Cmd.group info
           [
             put_cmd; get_cmd; fork_cmd; branches_cmd; log_cmd; merge_cmd;
-            keys_cmd; verify_cmd; stats_cmd; serve_cmd;
+            keys_cmd; verify_cmd; stats_cmd; checkpoint_cmd; serve_cmd;
           ]))

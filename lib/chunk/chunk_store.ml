@@ -107,6 +107,21 @@ let with_cache ?(capacity = 4096) inner =
   let mem cid = Cid.Tbl.mem cache cid || inner.mem cid in
   { inner with put; get; mem }
 
+(* A store that forwards to a swappable inner store. Compaction uses this to
+   atomically redirect a [Db.t]'s store to a freshly swept log without the db
+   holding a direct reference to the file-backed store. *)
+let redirectable inner =
+  let current = ref inner in
+  let t =
+    {
+      put = (fun chunk -> !current.put chunk);
+      get = (fun cid -> !current.get cid);
+      mem = (fun cid -> !current.mem cid);
+      stats = (fun () -> !current.stats ());
+    }
+  in
+  (t, fun replacement -> current := replacement)
+
 let replicated members ~replicas ~route =
   let arr = Array.of_list members in
   let n = Array.length arr in

@@ -47,6 +47,12 @@ val with_cache : ?capacity:int -> t -> t
 (** Client-side chunk cache (FIFO eviction).  Models the servlet/client
     caches of §4.6 and the wiki experiment of §6.3.1. *)
 
+val redirectable : t -> t * (t -> unit)
+(** [redirectable inner] is a store forwarding every call to a swappable
+    target, initially [inner], plus the setter that swaps it.  Online
+    compaction (lib/persist) uses this to point a live [Db.t] at a freshly
+    swept log without rebuilding the database. *)
+
 val union : t list -> route:(Cid.t -> int) -> t
 (** Partitioned pool of stores: each cid lives in store [route cid].  This
     is the "servlet to chunk storage" layer of the two-layer partitioning

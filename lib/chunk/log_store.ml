@@ -77,8 +77,17 @@ let open_ ?(sync_every = 512) file =
 
 let flush t = Stdlib.flush t.oc
 
+(* Durability point: push buffered appends to the OS and then to the device.
+   [flush] alone survives a process crash; [sync] also survives power loss. *)
+let sync t =
+  Stdlib.flush t.oc;
+  Unix.fsync (Unix.descr_of_out_channel t.oc);
+  t.unsynced <- 0
+
 let close t =
-  flush t;
+  (* fsync unconditionally: a closed log must be durable no matter what
+     [sync_every] batching was in effect while it was open. *)
+  sync t;
   close_out t.oc;
   close_in t.ic
 
@@ -102,10 +111,7 @@ let put t chunk =
      t.stats.chunks <- t.stats.chunks + 1;
      t.stats.bytes <- t.stats.bytes + len;
      t.unsynced <- t.unsynced + 1;
-     if t.sync_every > 0 && t.unsynced >= t.sync_every then begin
-       Stdlib.flush t.oc;
-       t.unsynced <- 0
-     end
+     if t.sync_every > 0 && t.unsynced >= t.sync_every then sync t
    end);
   cid
 

@@ -15,9 +15,17 @@ val open_ : ?sync_every:int -> string -> t
     fsyncs after that many appended chunks (default 512; [0] = never). *)
 
 val close : t -> unit
+(** Flushes and fsyncs before closing, regardless of [sync_every]: a closed
+    log is always durable. *)
+
 val store : t -> Chunk_store.t
 (** The generic store interface backed by this log. *)
 
 val flush : t -> unit
+(** Push buffered appends to the OS (survives a process crash). *)
+
+val sync : t -> unit
+(** [flush] plus [fsync]: survives power loss. *)
+
 val path : t -> string
 val file_size : t -> int

@@ -43,6 +43,26 @@ let record_object t ~uid ~bases =
 
 let untagged_heads t = Cid.Set.elements t.untagged
 
+(* Stable image of a table for journal checkpoints (lib/persist). [known]
+   must be included: replaying [record_object] after a checkpoint has to keep
+   ignoring versions that were already recorded before the checkpoint. *)
+type snapshot = {
+  snap_tagged : (string * Cid.t) list;
+  snap_untagged : Cid.t list;
+  snap_known : Cid.t list;
+}
+
+let snapshot t =
+  { snap_tagged = tags t; snap_untagged = Cid.Set.elements t.untagged;
+    snap_known = Cid.Set.elements t.known }
+
+let of_snapshot s =
+  let t = create () in
+  List.iter (fun (name, uid) -> Hashtbl.replace t.tagged name uid) s.snap_tagged;
+  t.untagged <- Cid.Set.of_list s.snap_untagged;
+  t.known <- Cid.Set.of_list s.snap_known;
+  t
+
 let replace_untagged t ~drop ~add =
   t.untagged <-
     Cid.Set.add add (List.fold_left (fun s d -> Cid.Set.remove d s) t.untagged drop)

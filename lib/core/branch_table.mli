@@ -32,3 +32,19 @@ val untagged_heads : t -> Fbchunk.Cid.t list
 
 val replace_untagged : t -> drop:Fbchunk.Cid.t list -> add:Fbchunk.Cid.t -> unit
 (** Used by merge (M7): logically replace the merged heads by the result. *)
+
+(** {1 Snapshots}
+
+    Value images of a table, used by the persistence layer (lib/persist) to
+    serialize branch tables into journal checkpoints. *)
+
+type snapshot = {
+  snap_tagged : (string * Fbchunk.Cid.t) list;
+  snap_untagged : Fbchunk.Cid.t list;
+  snap_known : Fbchunk.Cid.t list;
+      (** [snap_known] preserves the record-once semantics of
+          {!record_object} across a checkpoint/restore cycle. *)
+}
+
+val snapshot : t -> snapshot
+val of_snapshot : snapshot -> t

@@ -31,16 +31,31 @@ let error_to_string e = Format.asprintf "%a" pp_error e
 
 type access = Read | Write
 
+(* Branch-table mutations, reported to [on_mutation] so a persistence layer
+   (lib/persist) can journal them. One callback invocation = one logical
+   operation: the listed mutations must be made durable atomically. *)
+type mutation =
+  | Set_head of { key : string; branch : string; uid : Cid.t }
+  | Record_object of { key : string; uid : Cid.t; bases : Cid.t list }
+  | Rename of { key : string; old_name : string; new_name : string }
+  | Remove_branch of { key : string; branch : string }
+  | Replace_untagged of { key : string; drop : Cid.t list; add : Cid.t }
+
 type t = {
   store : Store.t;
   cfg : Fbtree.Tree_config.t;
   branches : (string, Branch_table.t) Hashtbl.t;
   acl : key:string -> branch:string option -> access -> bool;
+  mutable on_mutation : mutation list -> unit;
 }
 
 let create ?(cfg = Fbtree.Tree_config.default)
     ?(acl = fun ~key:_ ~branch:_ _ -> true) store =
-  { store; cfg; branches = Hashtbl.create 64; acl }
+  { store; cfg; branches = Hashtbl.create 64; acl;
+    on_mutation = (fun _ -> ()) }
+
+let set_on_mutation t f = t.on_mutation <- f
+let notify t muts = if muts <> [] then t.on_mutation muts
 
 let store t = t.store
 let cfg t = t.cfg
@@ -74,12 +89,40 @@ let check t ~key ~branch access k =
             key
             (match branch with Some b -> "@" ^ b | None -> "")))
 
-(* Create and persist a new FObject, updating the UB-table (§4.5.1). *)
+(* Re-apply a journaled mutation during recovery. Does NOT fire
+   [on_mutation]: replay must not re-journal. *)
+let apply_mutation t = function
+  | Set_head { key; branch; uid } ->
+      Branch_table.set_head (table t key) branch uid
+  | Record_object { key; uid; bases } ->
+      Branch_table.record_object (table t key) ~uid ~bases
+  | Rename { key; old_name; new_name } ->
+      ignore (Branch_table.rename (table t key) ~old_name ~new_name)
+  | Remove_branch { key; branch } ->
+      ignore (Branch_table.remove (table t key) branch)
+  | Replace_untagged { key; drop; add } ->
+      Branch_table.replace_untagged (table t key) ~drop ~add
+
+(* Whole-table image, for journal checkpoints. *)
+let export_tables t =
+  Hashtbl.fold (fun k tbl acc -> (k, Branch_table.snapshot tbl) :: acc)
+    t.branches []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let import_tables t snaps =
+  Hashtbl.reset t.branches;
+  List.iter
+    (fun (k, s) -> Hashtbl.replace t.branches k (Branch_table.of_snapshot s))
+    snaps
+
+(* Create and persist a new FObject, updating the UB-table (§4.5.1).
+   Returns the uid and the table mutation for the caller to report. *)
 let commit_object t ~key ~context ~base_objs value =
   let obj = Fobject.of_value ~key ~context ~bases:base_objs value in
   let uid = Fobject.store t.store obj in
-  Branch_table.record_object (table t key) ~uid ~bases:obj.Fobject.bases;
-  uid
+  let bases = obj.Fobject.bases in
+  Branch_table.record_object (table t key) ~uid ~bases;
+  (uid, Record_object { key; uid; bases })
 
 let load_object t uid =
   match Fobject.load t.store uid with
@@ -94,8 +137,9 @@ let put ?(branch = default_branch) ?(context = "") t ~key value =
     | Some head -> (
         match Fobject.load t.store head with Some o -> [ o ] | None -> [])
   in
-  let uid = commit_object t ~key ~context ~base_objs:bases value in
+  let uid, recorded = commit_object t ~key ~context ~base_objs:bases value in
   Branch_table.set_head tbl branch uid;
+  notify t [ recorded; Set_head { key; branch; uid } ];
   uid
 
 let put_guarded ?(branch = default_branch) ?(context = "") t ~key ~guard value =
@@ -112,7 +156,13 @@ let put_at ?(context = "") t ~key ~base value =
   | Error _ as e -> e
   | Ok base_obj ->
       if base_obj.Fobject.key <> key then Error (Unknown_version base)
-      else Ok (commit_object t ~key ~context ~base_objs:[ base_obj ] value)
+      else begin
+        let uid, recorded =
+          commit_object t ~key ~context ~base_objs:[ base_obj ] value
+        in
+        notify t [ recorded ];
+        Ok uid
+      end
 
 let head ?(branch = default_branch) t ~key =
   match table_opt t key with
@@ -160,6 +210,7 @@ let fork_at t ~key ~version ~new_branch =
         | Error _ as e -> e
         | Ok _ ->
             Branch_table.set_head tbl new_branch version;
+            notify t [ Set_head { key; branch = new_branch; uid = version } ];
             Ok ())
 
 let fork t ~key ~from_branch ~new_branch =
@@ -172,7 +223,10 @@ let rename_branch t ~key ~target ~new_name =
   match table_opt t key with
   | None -> Error (Unknown_key key)
   | Some tbl ->
-      if Branch_table.rename tbl ~old_name:target ~new_name then Ok ()
+      if Branch_table.rename tbl ~old_name:target ~new_name then begin
+        notify t [ Rename { key; old_name = target; new_name } ];
+        Ok ()
+      end
       else if Branch_table.head tbl target = None then
         Error (Unknown_branch (key, target))
       else Error (Branch_exists (key, new_name))
@@ -182,7 +236,10 @@ let remove_branch t ~key ~target =
   match table_opt t key with
   | None -> Error (Unknown_key key)
   | Some tbl ->
-      if Branch_table.remove tbl target then Ok ()
+      if Branch_table.remove tbl target then begin
+        notify t [ Remove_branch { key; branch = target } ];
+        Ok ()
+      end
       else Error (Unknown_branch (key, target))
 
 let restore_branch t ~key ~branch version =
@@ -194,6 +251,11 @@ let restore_branch t ~key ~branch version =
         let tbl = table t key in
         Branch_table.set_head tbl branch version;
         Branch_table.record_object tbl ~uid:version ~bases:obj.Fobject.bases;
+        notify t
+          [
+            Set_head { key; branch; uid = version };
+            Record_object { key; uid = version; bases = obj.Fobject.bases };
+          ];
         Ok ()
       end
 
@@ -232,8 +294,9 @@ let merge ?(resolver = Merge.Manual) ?(context = "") t ~key ~target ~ref_ =
           match merge_versions t ~resolver tgt_uid ref_uid with
           | Error _ as e -> e
           | Ok (value, base_objs) ->
-              let uid = commit_object t ~key ~context ~base_objs value in
+              let uid, recorded = commit_object t ~key ~context ~base_objs value in
               Branch_table.set_head (table t key) target uid;
+              notify t [ recorded; Set_head { key; branch = target; uid } ];
               Ok uid))
 
 let merge_untagged ?(resolver = Merge.Manual) ?(context = "") t ~key heads =
@@ -242,19 +305,20 @@ let merge_untagged ?(resolver = Merge.Manual) ?(context = "") t ~key heads =
   | [] -> Error (Unknown_key key)
   | [ single ] -> Ok single
   | first :: rest ->
-      let rec fold acc = function
-        | [] -> Ok acc
+      let rec fold acc muts = function
+        | [] -> Ok (acc, List.rev muts)
         | uid :: rest -> (
             match merge_versions t ~resolver acc uid with
             | Error _ as e -> e
             | Ok (value, base_objs) ->
-                let merged = commit_object t ~key ~context ~base_objs value in
-                fold merged rest)
+                let merged, recorded = commit_object t ~key ~context ~base_objs value in
+                fold merged (recorded :: muts) rest)
       in
-      (match fold first rest with
+      (match fold first [] rest with
       | Error _ as e -> e
-      | Ok merged ->
+      | Ok (merged, muts) ->
           Branch_table.replace_untagged (table t key) ~drop:heads ~add:merged;
+          notify t (muts @ [ Replace_untagged { key; drop = heads; add = merged } ]);
           Ok merged)
 
 let track ?(branch = default_branch) t ~key ~dist_range =

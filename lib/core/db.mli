@@ -34,6 +34,42 @@ val create :
 val store : t -> Fbchunk.Chunk_store.t
 val cfg : t -> Fbtree.Tree_config.t
 
+(** {1 Durability hooks (lib/persist)}
+
+    Every branch-table mutation is reported to a single callback so a
+    persistence layer can journal it.  One callback invocation carries all
+    mutations of one logical operation (e.g. a put is a [Record_object]
+    followed by a [Set_head]); the journal must commit them atomically. *)
+
+type mutation =
+  | Set_head of { key : string; branch : string; uid : Fbchunk.Cid.t }
+  | Record_object of {
+      key : string;
+      uid : Fbchunk.Cid.t;
+      bases : Fbchunk.Cid.t list;
+    }
+  | Rename of { key : string; old_name : string; new_name : string }
+  | Remove_branch of { key : string; branch : string }
+  | Replace_untagged of {
+      key : string;
+      drop : Fbchunk.Cid.t list;
+      add : Fbchunk.Cid.t;
+    }
+
+val set_on_mutation : t -> (mutation list -> unit) -> unit
+(** Install the journal hook.  The callback runs after the in-memory tables
+    have been updated and before the operation returns to the caller. *)
+
+val apply_mutation : t -> mutation -> unit
+(** Re-apply a journaled mutation during recovery; does not fire the
+    [set_on_mutation] callback. *)
+
+val export_tables : t -> (string * Branch_table.snapshot) list
+(** All branch tables keyed by object key, sorted, for checkpointing. *)
+
+val import_tables : t -> (string * Branch_table.snapshot) list -> unit
+(** Replace all branch tables, e.g. from a journal checkpoint record. *)
+
 val default_branch : string
 (** ["master"]. *)
 

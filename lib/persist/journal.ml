@@ -1,0 +1,191 @@
+(* Write-ahead journal for branch-table state.
+
+   The file format mirrors Log_store: a sequence of entries, each a varint
+   length followed by the entry body.  An entry carries every record of one
+   logical operation and is written with a single buffered write, so a
+   crash can only tear the final entry; recovery drops a torn tail and
+   keeps exactly the committed prefix.  Decode failures anywhere before
+   the tail are real corruption and raise {!Fbutil.Codec.Corrupt}. *)
+
+module Codec = Fbutil.Codec
+module Cid = Fbchunk.Cid
+module Db = Forkbase.Db
+module Branch_table = Forkbase.Branch_table
+
+type record =
+  | Mutation of Db.mutation
+  | Checkpoint of (string * Branch_table.snapshot) list
+
+type t = { file : string; oc : out_channel }
+
+let enc_cid buf cid = Codec.raw buf (Cid.to_raw cid)
+let dec_cid r = Cid.of_raw (Codec.read_raw r 32)
+
+let enc_tagged buf (name, uid) =
+  Codec.string buf name;
+  enc_cid buf uid
+
+let dec_tagged r =
+  let name = Codec.read_string r in
+  (name, dec_cid r)
+
+let enc_snapshot buf (key, s) =
+  Codec.string buf key;
+  Codec.list buf enc_tagged s.Branch_table.snap_tagged;
+  Codec.list buf enc_cid s.Branch_table.snap_untagged;
+  Codec.list buf enc_cid s.Branch_table.snap_known
+
+let dec_snapshot r =
+  let key = Codec.read_string r in
+  let snap_tagged = Codec.read_list r dec_tagged in
+  let snap_untagged = Codec.read_list r dec_cid in
+  let snap_known = Codec.read_list r dec_cid in
+  (key, { Branch_table.snap_tagged; snap_untagged; snap_known })
+
+let encode_record buf = function
+  | Mutation (Db.Set_head { key; branch; uid }) ->
+      Buffer.add_char buf 'H';
+      Codec.string buf key;
+      Codec.string buf branch;
+      enc_cid buf uid
+  | Mutation (Db.Record_object { key; uid; bases }) ->
+      Buffer.add_char buf 'O';
+      Codec.string buf key;
+      enc_cid buf uid;
+      Codec.list buf enc_cid bases
+  | Mutation (Db.Rename { key; old_name; new_name }) ->
+      Buffer.add_char buf 'N';
+      Codec.string buf key;
+      Codec.string buf old_name;
+      Codec.string buf new_name
+  | Mutation (Db.Remove_branch { key; branch }) ->
+      Buffer.add_char buf 'D';
+      Codec.string buf key;
+      Codec.string buf branch
+  | Mutation (Db.Replace_untagged { key; drop; add }) ->
+      Buffer.add_char buf 'U';
+      Codec.string buf key;
+      Codec.list buf enc_cid drop;
+      enc_cid buf add
+  | Checkpoint snaps ->
+      Buffer.add_char buf 'C';
+      Codec.list buf enc_snapshot snaps
+
+let decode_record r =
+  match Codec.read_byte r with
+  | 'H' ->
+      let key = Codec.read_string r in
+      let branch = Codec.read_string r in
+      Mutation (Db.Set_head { key; branch; uid = dec_cid r })
+  | 'O' ->
+      let key = Codec.read_string r in
+      let uid = dec_cid r in
+      Mutation (Db.Record_object { key; uid; bases = Codec.read_list r dec_cid })
+  | 'N' ->
+      let key = Codec.read_string r in
+      let old_name = Codec.read_string r in
+      Mutation (Db.Rename { key; old_name; new_name = Codec.read_string r })
+  | 'D' ->
+      let key = Codec.read_string r in
+      Mutation (Db.Remove_branch { key; branch = Codec.read_string r })
+  | 'U' ->
+      let key = Codec.read_string r in
+      let drop = Codec.read_list r dec_cid in
+      Mutation (Db.Replace_untagged { key; drop; add = dec_cid r })
+  | 'C' -> Checkpoint (Codec.read_list r dec_snapshot)
+  | c -> raise (Codec.Corrupt (Printf.sprintf "journal: bad record tag %C" c))
+
+let encode_entry records =
+  let buf = Buffer.create 256 in
+  Codec.list buf encode_record records;
+  Buffer.contents buf
+
+let decode_entry s =
+  let r = Codec.reader s in
+  let records = Codec.read_list r decode_record in
+  Codec.expect_end r;
+  records
+
+let frame records =
+  let body = encode_entry records in
+  let buf = Buffer.create (String.length body + 4) in
+  Codec.varint buf (String.length body);
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+(* Read one varint from [ic]; None at (possibly torn) EOF. *)
+let read_varint_opt ic =
+  match input_char ic with
+  | exception End_of_file -> None
+  | c0 -> (
+      let rec loop shift acc b =
+        let acc = acc lor ((b land 0x7f) lsl shift) in
+        if b land 0x80 = 0 then Some acc
+        else
+          match input_char ic with
+          | exception End_of_file -> None
+          | c -> loop (shift + 7) acc (Char.code c)
+      in
+      loop 0 0 (Char.code c0))
+
+(* Entries of a complete prefix of the file, plus the offset where the
+   committed prefix ends (the torn-tail truncation point). *)
+let scan path =
+  let ic = open_in_gen [ Open_rdonly; Open_binary ] 0o644 path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let entries = ref [] in
+  let tail = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let start = pos_in ic in
+    match read_varint_opt ic with
+    | None ->
+        tail := start;
+        continue := false
+    | Some len -> (
+        let body = Bytes.create len in
+        match really_input ic body 0 len with
+        | exception End_of_file ->
+            tail := start;
+            continue := false
+        | () ->
+            entries := decode_entry (Bytes.unsafe_to_string body) :: !entries;
+            tail := pos_in ic)
+  done;
+  (List.rev !entries, !tail)
+
+let open_ path =
+  let oc0 = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  close_out oc0;
+  let entries, tail = scan path in
+  if tail < (Unix.stat path).Unix.st_size then Unix.truncate path tail;
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  ({ file = path; oc }, entries)
+
+let append t records =
+  output_string t.oc (frame records);
+  (* One flush per entry: the whole batch reaches the OS (or none of it,
+     modulo a torn tail) before the operation is acknowledged. *)
+  Stdlib.flush t.oc
+
+let sync t =
+  Stdlib.flush t.oc;
+  Unix.fsync (Unix.descr_of_out_channel t.oc)
+
+let close t =
+  sync t;
+  close_out t.oc
+
+let path t = t.file
+let file_size t = (Unix.stat t.file).Unix.st_size
+
+(* Fresh journal containing exactly [entries], fsynced.  Checkpoint
+   rotation writes this beside the live journal and renames over it. *)
+let write_fresh path entries =
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path
+  in
+  List.iter (fun records -> output_string oc (frame records)) entries;
+  Stdlib.flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc);
+  close_out oc

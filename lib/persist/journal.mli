@@ -1,0 +1,39 @@
+(** Write-ahead journal for branch-table state.
+
+    An append-only file of codec-framed entries.  Each entry is the batch
+    of branch-table records produced by one logical database operation and
+    is committed atomically: a crash can only tear the final entry, which
+    {!open_} drops, recovering exactly the committed prefix (the same
+    torn-tail tolerance as {!Fbchunk.Log_store}). *)
+
+type record =
+  | Mutation of Forkbase.Db.mutation
+  | Checkpoint of (string * Forkbase.Branch_table.snapshot) list
+      (** Full image of every per-key branch table; replay replaces all
+          tables and earlier records become irrelevant. *)
+
+type t
+
+val open_ : string -> t * record list list
+(** [open_ path] creates or re-opens the journal, returning the committed
+    entries in append order.  A torn final entry is truncated away.
+    @raise Fbutil.Codec.Corrupt on a malformed committed entry. *)
+
+val append : t -> record list -> unit
+(** Append one entry (one operation's records) and flush it to the OS.
+    Durability against power loss additionally requires {!sync}. *)
+
+val sync : t -> unit
+(** Flush and [fsync]. *)
+
+val close : t -> unit
+(** Syncs, then closes. *)
+
+val path : t -> string
+val file_size : t -> int
+
+val write_fresh : string -> record list list -> unit
+(** [write_fresh path entries] writes a brand-new fsynced journal at
+    [path] (truncating any existing file).  Checkpoint rotation writes the
+    replacement journal with this and atomically renames it over the live
+    one. *)

@@ -1,0 +1,79 @@
+(** Durable ForkBase database.
+
+    Combines the append-only chunk log (§4.4) with a write-ahead journal
+    for the per-key branch tables of §4.5 — the only mutable state in the
+    system — so a {!Forkbase.Db.t} survives crashes:
+
+    - every mutation is journaled as one atomic entry before the operation
+      returns, with the referenced chunks flushed first;
+    - {!open_db} replays the journal to rebuild every branch table and
+      validates each recovered head against the chunk store;
+    - {!checkpoint} snapshots the branch tables into a fresh journal
+      (atomic rename), and {!compact} additionally sweeps live chunks into
+      a fresh chunk log, reclaiming unreachable versions online. *)
+
+type corruption =
+  | Missing_head of {
+      key : string;
+      branch : string option;  (** [None] for an untagged head *)
+      uid : Fbchunk.Cid.t;
+    }
+  | Bad_journal of { path : string; reason : string }
+
+exception Corrupt_db of corruption
+
+val pp_corruption : Format.formatter -> corruption -> unit
+val corruption_to_string : corruption -> string
+
+type t
+
+val open_db :
+  ?cfg:Fbtree.Tree_config.t ->
+  ?acl:(key:string -> branch:string option -> Forkbase.Db.access -> bool) ->
+  ?sync_every:int ->
+  ?journal_sync_every:int ->
+  string ->
+  t
+(** [open_db dir] opens (creating if needed) the durable database in
+    [dir]: chunk log [dir/chunks.log] plus branch journal
+    [dir/branches.journal].  Torn tails in either file — from a crash
+    mid-append — are dropped, recovering the committed prefix.
+
+    [sync_every] is the chunk log's fsync batch (in chunks, default 512;
+    [0] = only on close).  [journal_sync_every] is the journal's fsync
+    batch in {e operations} (default 1: every operation is durable against
+    power loss when it returns; raise it to trade durability lag for
+    throughput — entries are still flushed to the OS per operation, so a
+    process crash loses nothing either way).
+
+    @raise Corrupt_db when the journal is malformed or a recovered head
+    does not resolve in the chunk store. *)
+
+val db : t -> Forkbase.Db.t
+(** The connector backed by this durable store.  Use it exactly like an
+    in-memory db; every branch mutation is journaled transparently. *)
+
+val dir : t -> string
+
+val sync : t -> unit
+(** Force chunk log then journal to disk (fsync). *)
+
+val checkpoint : t -> unit
+(** Snapshot all branch tables into a single-entry journal and atomically
+    swap it in.  Bounds journal size and recovery replay time. *)
+
+val compact : t -> int * int
+(** Online garbage collection: sweep every chunk reachable from a branch
+    head into a fresh chunk log, atomically swap the log files, redirect
+    the live db, then {!checkpoint}.  Returns reclaimed [(chunks, bytes)]
+    — at least the garbage measured by {!Forkbase.Gc.garbage_stats}. *)
+
+val garbage_stats : t -> int * int
+(** [(chunks, bytes)] currently unreachable, i.e. what {!compact} would
+    reclaim. *)
+
+val journal_size : t -> int
+val chunk_log_size : t -> int
+
+val close : t -> unit
+(** Syncs both files and closes them. *)

@@ -1,9 +1,22 @@
 type t = { fd : Unix.file_descr }
 
-let connect ~port =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  { fd }
+(* Transient refusals happen routinely when a client races server startup;
+   retry with bounded exponential backoff (capped both in attempts and in
+   per-wait duration) before giving up. *)
+let connect ?(retries = 0) ?(backoff = 0.02) ?(max_backoff = 1.0) ~port () =
+  let rec attempt left delay =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+    | () -> { fd }
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) when left > 0 ->
+        Unix.close fd;
+        Unix.sleepf delay;
+        attempt (left - 1) (Float.min max_backoff (2. *. delay))
+    | exception e ->
+        Unix.close fd;
+        raise e
+  in
+  attempt retries backoff
 
 let close t = Unix.close t.fd
 
@@ -51,6 +64,16 @@ let verify t uid =
   match expect_ok "verify" (call t (Wire.Verify { uid })) with
   | Wire.Bool b -> b
   | _ -> failwith "verify: unexpected response"
+
+let stats t =
+  match expect_ok "stats" (call t Wire.Stats) with
+  | Wire.Stats_r s -> s
+  | _ -> failwith "stats: unexpected response"
+
+let checkpoint t =
+  match expect_ok "checkpoint" (call t Wire.Checkpoint) with
+  | Wire.Reclaimed { chunks; bytes } -> (chunks, bytes)
+  | _ -> failwith "checkpoint: unexpected response"
 
 let quit_server t =
   match call t Wire.Quit with

@@ -2,8 +2,12 @@
 
 type t
 
-val connect : port:int -> t
-(** Connect to a {!Server} on 127.0.0.1. *)
+val connect :
+  ?retries:int -> ?backoff:float -> ?max_backoff:float -> port:int -> unit -> t
+(** Connect to a {!Server} on 127.0.0.1.  A transient [ECONNREFUSED]
+    (typically a race against server startup) is retried up to [retries]
+    times (default 0), sleeping [backoff] seconds (default 0.02) doubled
+    after every attempt and capped at [max_backoff] (default 1.0). *)
 
 val close : t -> unit
 val call : t -> Wire.request -> Wire.response
@@ -25,4 +29,11 @@ val track : ?branch:string -> t -> key:string -> lo:int -> hi:int ->
   (int * Fbchunk.Cid.t) list
 val list_keys : t -> string list
 val verify : t -> Fbchunk.Cid.t -> bool
+
+val stats : t -> Wire.stats
+
+val checkpoint : t -> int * int
+(** Ask a durable server to checkpoint + compact; reclaimed
+    (chunks, bytes). *)
+
 val quit_server : t -> unit

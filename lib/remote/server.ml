@@ -40,7 +40,27 @@ let of_db_result to_resp = function
   | Ok v -> to_resp v
   | Error e -> Wire.Error (Db.error_to_string e)
 
-let handle db (req : Wire.request) : Wire.response =
+let stats_of_db db =
+  let s = (Db.store db).Fbchunk.Chunk_store.stats () in
+  let keys = Db.list_keys db in
+  {
+    Wire.chunks = s.Fbchunk.Chunk_store.chunks;
+    bytes = s.Fbchunk.Chunk_store.bytes;
+    puts = s.Fbchunk.Chunk_store.puts;
+    dedup_hits = s.Fbchunk.Chunk_store.dedup_hits;
+    gets = s.Fbchunk.Chunk_store.gets;
+    misses = s.Fbchunk.Chunk_store.misses;
+    keys = List.length keys;
+    branches =
+      List.fold_left
+        (fun n key -> n + List.length (Db.list_tagged_branches db ~key))
+        0 keys;
+  }
+
+(* [checkpoint] is provided when the db is backed by a durable store
+   (lib/persist): it runs checkpoint + compaction and returns the
+   reclaimed (chunks, bytes). *)
+let handle ?checkpoint db (req : Wire.request) : Wire.response =
   match req with
   | Wire.Put { key; branch; context; value } ->
       Wire.Uid (Db.put ~branch ~context db ~key (of_wire_value db value))
@@ -64,9 +84,16 @@ let handle db (req : Wire.request) : Wire.response =
   | Wire.List_keys -> Wire.Keys (Db.list_keys db)
   | Wire.List_branches { key } -> Wire.Branches (Db.list_tagged_branches db ~key)
   | Wire.Verify { uid } -> Wire.Bool (Db.verify_version db uid)
+  | Wire.Stats -> Wire.Stats_r (stats_of_db db)
+  | Wire.Checkpoint -> (
+      match checkpoint with
+      | None -> Wire.Error "checkpoint: server store is not durable"
+      | Some run ->
+          let chunks, bytes = run () in
+          Wire.Reclaimed { chunks; bytes })
   | Wire.Quit -> Wire.Ok_unit
 
-let serve db listen_fd =
+let serve ?checkpoint db listen_fd =
   let quit = ref false in
   while not !quit do
     let conn, _peer = Unix.accept listen_fd in
@@ -82,7 +109,9 @@ let serve db listen_fd =
                 quit := true;
                 connected := false;
                 Wire.Ok_unit
-            | req -> ( try handle db req with e -> Wire.Error (Printexc.to_string e))
+            | req -> (
+                try handle ?checkpoint db req
+                with e -> Wire.Error (Printexc.to_string e))
           in
           Wire.write_frame conn (Wire.encode_response response)
     done;

@@ -11,9 +11,17 @@ val listen : ?backlog:int -> port:int -> unit -> Unix.file_descr
 
 val bound_port : Unix.file_descr -> int
 
-val serve : Forkbase.Db.t -> Unix.file_descr -> unit
+val serve :
+  ?checkpoint:(unit -> int * int) -> Forkbase.Db.t -> Unix.file_descr -> unit
 (** Accept loop; returns after a [Quit] request.  The listening socket is
-    closed on exit. *)
+    closed on exit.  [checkpoint] is supplied when the db is backed by a
+    durable store (lib/persist): it runs checkpoint + compaction and
+    returns the reclaimed (chunks, bytes); without it a [Checkpoint]
+    request is answered with an error. *)
 
-val handle : Forkbase.Db.t -> Wire.request -> Wire.response
+val handle :
+  ?checkpoint:(unit -> int * int) -> Forkbase.Db.t -> Wire.request ->
+  Wire.response
 (** The request dispatcher, exposed for tests. *)
+
+val stats_of_db : Forkbase.Db.t -> Wire.stats

@@ -18,7 +18,20 @@ type request =
   | List_keys
   | List_branches of { key : string }
   | Verify of { uid : Cid.t }
+  | Stats
+  | Checkpoint
   | Quit
+
+type stats = {
+  chunks : int;
+  bytes : int;
+  puts : int;
+  dedup_hits : int;
+  gets : int;
+  misses : int;
+  keys : int;
+  branches : int;  (** tagged branches over all keys *)
+}
 
 type response =
   | Uid of Cid.t
@@ -28,6 +41,8 @@ type response =
   | Branches of (string * Cid.t) list
   | History of (int * Cid.t) list
   | Bool of bool
+  | Stats_r of stats
+  | Reclaimed of { chunks : int; bytes : int }
   | Error of string
 
 let enc_cid buf cid = Codec.raw buf (Cid.to_raw cid)
@@ -108,6 +123,8 @@ let encode_request req =
   | Verify { uid } ->
       Buffer.add_char buf 'Y';
       enc_cid buf uid
+  | Stats -> Buffer.add_char buf 'S'
+  | Checkpoint -> Buffer.add_char buf 'C'
   | Quit -> Buffer.add_char buf 'Q');
   Buffer.contents buf
 
@@ -146,6 +163,8 @@ let decode_request s =
     | 'K' -> List_keys
     | 'B' -> List_branches { key = Codec.read_string r }
     | 'Y' -> Verify { uid = dec_cid r }
+    | 'S' -> Stats
+    | 'C' -> Checkpoint
     | 'Q' -> Quit
     | c -> raise (Codec.Corrupt (Printf.sprintf "wire: bad request tag %C" c))
   in
@@ -182,6 +201,15 @@ let encode_response resp =
   | Bool b ->
       Buffer.add_char buf 't';
       Codec.bool buf b
+  | Stats_r s ->
+      Buffer.add_char buf 's';
+      List.iter (Codec.varint buf)
+        [ s.chunks; s.bytes; s.puts; s.dedup_hits; s.gets; s.misses; s.keys;
+          s.branches ]
+  | Reclaimed { chunks; bytes } ->
+      Buffer.add_char buf 'c';
+      Codec.varint buf chunks;
+      Codec.varint buf bytes
   | Error msg ->
       Buffer.add_char buf 'x';
       Codec.string buf msg);
@@ -206,6 +234,19 @@ let decode_response s =
                let dist = Codec.read_varint r in
                (dist, dec_cid r)))
     | 't' -> Bool (Codec.read_bool r)
+    | 's' ->
+        let chunks = Codec.read_varint r in
+        let bytes = Codec.read_varint r in
+        let puts = Codec.read_varint r in
+        let dedup_hits = Codec.read_varint r in
+        let gets = Codec.read_varint r in
+        let misses = Codec.read_varint r in
+        let keys = Codec.read_varint r in
+        let branches = Codec.read_varint r in
+        Stats_r { chunks; bytes; puts; dedup_hits; gets; misses; keys; branches }
+    | 'c' ->
+        let chunks = Codec.read_varint r in
+        Reclaimed { chunks; bytes = Codec.read_varint r }
     | 'x' -> Error (Codec.read_string r)
     | c -> raise (Codec.Corrupt (Printf.sprintf "wire: bad response tag %C" c))
   in

@@ -25,7 +25,22 @@ type request =
   | List_keys
   | List_branches of { key : string }
   | Verify of { uid : Fbchunk.Cid.t }
+  | Stats  (** chunk-store counters plus key/branch counts *)
+  | Checkpoint
+      (** checkpoint + compact a durable server store; answered with
+          [Reclaimed] *)
   | Quit  (** shut the server down (tests and orderly teardown) *)
+
+type stats = {
+  chunks : int;
+  bytes : int;
+  puts : int;
+  dedup_hits : int;
+  gets : int;
+  misses : int;
+  keys : int;
+  branches : int;  (** tagged branches over all keys *)
+}
 
 type response =
   | Uid of Fbchunk.Cid.t
@@ -35,6 +50,8 @@ type response =
   | Branches of (string * Fbchunk.Cid.t) list
   | History of (int * Fbchunk.Cid.t) list
   | Bool of bool
+  | Stats_r of stats
+  | Reclaimed of { chunks : int; bytes : int }
   | Error of string
 
 val encode_request : request -> string

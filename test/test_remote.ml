@@ -43,6 +43,8 @@ let gen_request =
         return Wire.List_keys;
         map (fun key -> Wire.List_branches { key }) string;
         map (fun uid -> Wire.Verify { uid }) gen_cid;
+        return Wire.Stats;
+        return Wire.Checkpoint;
         return Wire.Quit;
       ])
 
@@ -57,6 +59,16 @@ let gen_response =
         map (fun bs -> Wire.Branches bs) (small_list (pair string gen_cid));
         map (fun hs -> Wire.History hs) (small_list (pair small_nat gen_cid));
         map (fun b -> Wire.Bool b) bool;
+        map
+          (fun ((chunks, bytes, puts), (dedup_hits, gets, misses), (keys, branches)) ->
+            Wire.Stats_r
+              { chunks; bytes; puts; dedup_hits; gets; misses; keys; branches })
+          (triple
+             (triple small_nat small_nat small_nat)
+             (triple small_nat small_nat small_nat)
+             (pair small_nat small_nat));
+        map (fun (chunks, bytes) -> Wire.Reclaimed { chunks; bytes })
+          (pair small_nat small_nat);
         map (fun m -> Wire.Error m) string;
       ])
 
@@ -86,9 +98,19 @@ let test_handle () =
   (match Server.handle db (Wire.Get { key = "nope"; branch = "master" }) with
   | Wire.Error _ -> ()
   | _ -> Alcotest.fail "unknown key should error");
-  match Server.handle db Wire.List_keys with
+  (match Server.handle db Wire.List_keys with
   | Wire.Keys [ "k" ] -> ()
-  | _ -> Alcotest.fail "keys"
+  | _ -> Alcotest.fail "keys");
+  (match Server.handle db Wire.Stats with
+  | Wire.Stats_r s ->
+      Alcotest.(check int) "one key" 1 s.Wire.keys;
+      Alcotest.(check int) "one branch" 1 s.Wire.branches;
+      Alcotest.(check bool) "chunks counted" true (s.Wire.chunks > 0)
+  | _ -> Alcotest.fail "stats");
+  (* no durable store behind this db: checkpoint must refuse, not crash *)
+  match Server.handle db Wire.Checkpoint with
+  | Wire.Error _ -> ()
+  | _ -> Alcotest.fail "checkpoint on volatile store should error"
 
 (* --- full TCP round trip --- *)
 
@@ -106,7 +128,7 @@ let test_tcp_session () =
       Fun.protect
         ~finally:(fun () -> ignore (Unix.waitpid [] server_pid))
         (fun () ->
-          let c = Client.connect ~port in
+          let c = Client.connect ~retries:5 ~port () in
           (* a realistic session: put, fork, edit, merge, track, verify *)
           let v1 = Client.put c ~key:"page" (Wire.Blob "hello network") in
           Client.fork c ~key:"page" ~from_branch:"master" ~new_branch:"draft";
