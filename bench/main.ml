@@ -24,6 +24,7 @@ let experiments : (string * string * (Bench_util.scale -> unit)) list =
     ("ablation-size", "chunk-size sweep", Bench_ablation.ablation_chunk_size);
     ("ablation-delta", "POS-Tree vs delta chains", Bench_ablation.ablation_delta);
     ("durability", "journaled puts, recovery, compaction", Bench_persist.durability);
+    ("remote", "multi-client serving throughput", Bench_remote.remote);
   ]
 
 let run_ids scale ids =

@@ -172,38 +172,106 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"re-hash a head version and its chunks")
     Term.(const run $ branch_arg $ key_pos)
 
+let print_conn_counters ~accepted ~active ~closed_ok ~closed_err ~frames_in
+    ~frames_out ~timeouts =
+  Printf.printf
+    "connections: accepted=%d active=%d closed_ok=%d closed_err=%d\n\
+     frames: in=%d out=%d  idle timeouts: %d\n"
+    accepted active closed_ok closed_err frames_in frames_out timeouts
+
 let serve_cmd =
-  let run port =
+  let run port max_conns idle_timeout max_frame_bytes =
     with_store @@ fun p ->
     let listen_fd = Fbremote.Server.listen ~port () in
     Printf.printf "forkbase server listening on 127.0.0.1:%d (data in %s)\n%!"
       (Fbremote.Server.bound_port listen_fd)
       (data_dir ());
-    Fbremote.Server.serve
-      ~checkpoint:(fun () -> Persist.compact p)
-      (Persist.db p) listen_fd
+    let config =
+      { Fbremote.Server.default_config with max_conns; idle_timeout; max_frame_bytes }
+    in
+    let k =
+      Fbremote.Server.serve ~config
+        ~checkpoint:(fun () -> Persist.compact p)
+        (Persist.db p) listen_fd
+    in
+    Printf.printf "server stopped.\n";
+    print_conn_counters ~accepted:k.Fbremote.Server.accepted ~active:k.active
+      ~closed_ok:k.closed_ok ~closed_err:k.closed_err ~frames_in:k.frames_in
+      ~frames_out:k.frames_out ~timeouts:k.timeouts
   in
   let port_arg =
     Arg.(value & opt int 7878 & info [ "p"; "port" ] ~docv:"PORT")
   in
+  let max_conns_arg =
+    Arg.(
+      value
+      & opt int Fbremote.Server.default_config.Fbremote.Server.max_conns
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Serve at most $(docv) concurrent connections; further \
+                clients wait in the listen backlog.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close connections idle for more than $(docv) (0 disables).")
+  in
+  let max_frame_bytes_arg =
+    Arg.(
+      value
+      & opt int Fbremote.Wire.default_max_frame_bytes
+      & info [ "max-frame-bytes" ] ~docv:"BYTES"
+          ~doc:"Reject request frames larger than $(docv) without \
+                allocating them.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"run a network server over this store (stops on a Quit request)")
-    Term.(const run $ port_arg)
+    Term.(const run $ port_arg $ max_conns_arg $ idle_timeout_arg
+          $ max_frame_bytes_arg)
 
 let stats_cmd =
-  let run () =
-    with_store @@ fun p ->
-    let db = Persist.db p in
-    let s = (Db.store db).Fbchunk.Chunk_store.stats () in
-    Format.printf "%a@." Fbchunk.Chunk_store.pp_stats s;
-    let garbage_chunks, garbage_bytes = Persist.garbage_stats p in
-    Format.printf "garbage: %d chunks, %d bytes (run 'forkbase checkpoint')@."
-      garbage_chunks garbage_bytes;
-    Format.printf "files: chunk log %d bytes, branch journal %d bytes@."
-      (Persist.chunk_log_size p) (Persist.journal_size p)
+  let run port =
+    match port with
+    | Some port ->
+        (* query a running server over the wire instead of opening the
+           store files (which the server holds) *)
+        let c = Fbremote.Client.connect ~port () in
+        Fun.protect ~finally:(fun () -> Fbremote.Client.close c) @@ fun () ->
+        let s = Fbremote.Client.stats c in
+        Printf.printf
+          "chunks=%d bytes=%d puts=%d dedup=%d gets=%d misses=%d\n\
+           keys=%d branches=%d\n"
+          s.Fbremote.Wire.chunks s.Fbremote.Wire.bytes s.Fbremote.Wire.puts
+          s.Fbremote.Wire.dedup_hits s.Fbremote.Wire.gets
+          s.Fbremote.Wire.misses s.Fbremote.Wire.keys s.Fbremote.Wire.branches;
+        print_conn_counters ~accepted:s.Fbremote.Wire.accepted
+          ~active:s.Fbremote.Wire.active ~closed_ok:s.Fbremote.Wire.closed_ok
+          ~closed_err:s.Fbremote.Wire.closed_err
+          ~frames_in:s.Fbremote.Wire.frames_in
+          ~frames_out:s.Fbremote.Wire.frames_out
+          ~timeouts:s.Fbremote.Wire.timeouts
+    | None ->
+        with_store @@ fun p ->
+        let db = Persist.db p in
+        let s = (Db.store db).Fbchunk.Chunk_store.stats () in
+        Format.printf "%a@." Fbchunk.Chunk_store.pp_stats s;
+        let garbage_chunks, garbage_bytes = Persist.garbage_stats p in
+        Format.printf "garbage: %d chunks, %d bytes (run 'forkbase checkpoint')@."
+          garbage_chunks garbage_bytes;
+        Format.printf "files: chunk log %d bytes, branch journal %d bytes@."
+          (Persist.chunk_log_size p) (Persist.journal_size p)
   in
-  Cmd.v (Cmd.info "stats" ~doc:"chunk store statistics") Term.(const run $ const ())
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"Query a running server on 127.0.0.1:$(docv) over the wire \
+                (includes its connection counters) instead of opening the \
+                store files.")
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"chunk store statistics") Term.(const run $ port_arg)
 
 let checkpoint_cmd =
   let run () =

@@ -64,8 +64,14 @@ let verifying inner =
 
 let counting inner ~read_bytes ~written_bytes =
   let put chunk =
-    written_bytes := !written_bytes + Chunk.byte_size chunk;
-    inner.put chunk
+    (* Only bytes the inner store newly stored count as written: a dedup
+       hit stores nothing, and charging it would inflate the §4.4
+       dedup-savings numbers.  The inner store's own byte accounting is
+       the ground truth. *)
+    let before = (inner.stats ()).bytes in
+    let cid = inner.put chunk in
+    written_bytes := !written_bytes + ((inner.stats ()).bytes - before);
+    cid
   in
   let get cid =
     match inner.get cid with
@@ -77,6 +83,9 @@ let counting inner ~read_bytes ~written_bytes =
   { inner with put; get }
 
 let with_cache ?(capacity = 4096) inner =
+  if capacity <= 0 then inner (* a zero-entry cache is the inner store;
+                                 the eviction path below assumes capacity > 0 *)
+  else
   let cache : Chunk.t Cid.Tbl.t = Cid.Tbl.create capacity in
   let order : Cid.t Queue.t = Queue.create () in
   let insert cid chunk =

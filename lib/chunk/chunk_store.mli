@@ -41,11 +41,14 @@ val verifying : t -> t
 val counting :
   t -> read_bytes:int ref -> written_bytes:int ref -> t
 (** Wrap a store, accumulating transferred byte counts (used by the cluster
-    simulator to model network traffic). *)
+    simulator to model network traffic).  [written_bytes] grows only by
+    what the inner store {e newly} stored — a deduplicated put writes
+    nothing, matching the §4.4 savings accounting. *)
 
 val with_cache : ?capacity:int -> t -> t
 (** Client-side chunk cache (FIFO eviction).  Models the servlet/client
-    caches of §4.6 and the wiki experiment of §6.3.1. *)
+    caches of §4.6 and the wiki experiment of §6.3.1.  A [capacity <= 0]
+    returns the inner store unchanged. *)
 
 val redirectable : t -> t * (t -> unit)
 (** [redirectable inner] is a store forwarding every call to a swappable

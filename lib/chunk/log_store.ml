@@ -23,32 +23,46 @@ let read_varint_opt ic =
       in
       Some (loop 0 0 (Char.code c0))
 
+exception
+  Corrupt_log of { file : string; off : int; reason : string }
+
 let replay t =
   seek_in t.ic 0;
+  let file_len = in_channel_length t.ic in
   let continue = ref true in
   while !continue do
     let record_start = pos_in t.ic in
+    let torn () =
+      t.tail <- record_start;
+      continue := false
+    in
     match read_varint_opt t.ic with
-    | None ->
-        t.tail <- record_start;
-        continue := false
-    | Some len -> (
-        let body = Bytes.create len in
-        match really_input t.ic body 0 len with
-        | exception End_of_file ->
-            (* torn tail record: ignore it *)
-            t.tail <- record_start;
-            continue := false
-        | () ->
-            let chunk = Chunk.decode (Bytes.unsafe_to_string body) in
-            let cid = Chunk.cid chunk in
-            let data_off = pos_in t.ic - len in
-            if not (Cid.Tbl.mem t.index cid) then begin
-              t.stats.chunks <- t.stats.chunks + 1;
-              t.stats.bytes <- t.stats.bytes + len
-            end;
-            Cid.Tbl.replace t.index cid { off = data_off; len };
-            t.tail <- pos_in t.ic)
+    | None -> torn ()
+    | exception End_of_file -> torn () (* tail torn mid-header *)
+    | Some len ->
+        (* A length overrunning the file is a torn tail; detecting it here
+           keeps a corrupt varint from forcing a giant allocation. *)
+        if len > file_len - pos_in t.ic then torn ()
+        else begin
+          let body = Bytes.create len in
+          really_input t.ic body 0 len;
+          match Chunk.decode (Bytes.unsafe_to_string body) with
+          | exception Fbutil.Codec.Corrupt reason ->
+              (* length-complete record with a rotten body: unlike a torn
+                 tail this is data loss mid-log, so fail loudly and name
+                 the spot instead of silently dropping the record (and
+                 everything after it). *)
+              raise (Corrupt_log { file = t.file; off = record_start; reason })
+          | chunk ->
+              let cid = Chunk.cid chunk in
+              let data_off = pos_in t.ic - len in
+              if not (Cid.Tbl.mem t.index cid) then begin
+                t.stats.chunks <- t.stats.chunks + 1;
+                t.stats.bytes <- t.stats.bytes + len
+              end;
+              Cid.Tbl.replace t.index cid { off = data_off; len };
+              t.tail <- pos_in t.ic
+        end
   done
 
 let open_ ?(sync_every = 512) file =
@@ -68,12 +82,20 @@ let open_ ?(sync_every = 512) file =
       tail = 0;
     }
   in
-  replay t;
+  (try replay t
+   with e ->
+     close_in ic;
+     raise e);
   (* A crash mid-append can leave a torn record after [tail]; truncate it
-     so new appends continue from the last complete record. *)
+     so new appends continue from the last complete record.  The read
+     channel may still buffer bytes from the dropped tail, so reopen it:
+     a [seek_in] landing inside that buffer would otherwise serve stale
+     bytes where freshly appended records now live. *)
   if t.tail < in_channel_length t.ic then Unix.truncate file t.tail;
+  close_in ic;
+  let ic = open_in_gen [ Open_rdonly; Open_binary ] 0o644 file in
   let oc = open_out_gen [ Open_append; Open_binary ] 0o644 file in
-  { t with oc }
+  { t with ic; oc }
 
 let flush t = Stdlib.flush t.oc
 

@@ -10,9 +10,19 @@
 
 type t
 
+exception
+  Corrupt_log of { file : string; off : int; reason : string }
+(** A length-complete record at byte [off] whose body does not decode —
+    bit rot, as opposed to a torn tail (which is silently dropped). *)
+
 val open_ : ?sync_every:int -> string -> t
 (** [open_ path] creates or re-opens the log at [path].  [sync_every]
-    fsyncs after that many appended chunks (default 512; [0] = never). *)
+    fsyncs after that many appended chunks (default 512; [0] = never).
+
+    Replay tolerates a torn {e tail} (crash mid-append) by truncating it,
+    including a tail torn mid-length-header or whose length overruns the
+    file; a complete record that fails to decode anywhere else raises
+    {!Corrupt_log} naming the file offset. *)
 
 val close : t -> unit
 (** Flushes and fsyncs before closing, regardless of [sync_every]: a closed

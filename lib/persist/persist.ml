@@ -20,6 +20,7 @@ module Db = Forkbase.Db
 type corruption =
   | Missing_head of { key : string; branch : string option; uid : Cid.t }
   | Bad_journal of { path : string; reason : string }
+  | Bad_chunk_log of { path : string; off : int; reason : string }
 
 exception Corrupt_db of corruption
 
@@ -31,6 +32,9 @@ let pp_corruption fmt = function
         (match branch with Some b -> " (branch " ^ b ^ ")" | None -> " (untagged)")
   | Bad_journal { path; reason } ->
       Format.fprintf fmt "branch journal %s is corrupt: %s" path reason
+  | Bad_chunk_log { path; off; reason } ->
+      Format.fprintf fmt
+        "chunk log %s has a corrupt record at byte %d: %s" path off reason
 
 let corruption_to_string c = Format.asprintf "%a" pp_corruption c
 
@@ -99,7 +103,11 @@ let open_db ?cfg ?acl ?(sync_every = 512) ?(journal_sync_every = 1) dir =
       let p = f dir ^ tmp_suffix in
       if Sys.file_exists p then Sys.remove p)
     [ chunk_file; journal_file ];
-  let log = Log_store.open_ ~sync_every (chunk_file dir) in
+  let log =
+    try Log_store.open_ ~sync_every (chunk_file dir)
+    with Log_store.Corrupt_log { file; off; reason } ->
+      raise (Corrupt_db (Bad_chunk_log { path = file; off; reason }))
+  in
   let store, set_store = Store.redirectable (Log_store.store log) in
   let db = Db.create ?cfg ?acl store in
   let journal, entries =

@@ -19,6 +19,9 @@ type corruption =
       uid : Fbchunk.Cid.t;
     }
   | Bad_journal of { path : string; reason : string }
+  | Bad_chunk_log of { path : string; off : int; reason : string }
+      (** a length-complete chunk record that fails to decode (bit rot), as
+          opposed to a torn tail, which recovery drops silently *)
 
 exception Corrupt_db of corruption
 

@@ -4,6 +4,7 @@ type t = { fd : Unix.file_descr }
    retry with bounded exponential backoff (capped both in attempts and in
    per-wait duration) before giving up. *)
 let connect ?(retries = 0) ?(backoff = 0.02) ?(max_backoff = 1.0) ~port () =
+  Wire.ignore_sigpipe ();
   let rec attempt left delay =
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
@@ -21,10 +22,13 @@ let connect ?(retries = 0) ?(backoff = 0.02) ?(max_backoff = 1.0) ~port () =
 let close t = Unix.close t.fd
 
 let call t req =
-  Wire.write_frame t.fd (Wire.encode_request req);
-  match Wire.read_frame t.fd with
+  match
+    Wire.write_frame t.fd (Wire.encode_request req);
+    Wire.read_frame t.fd
+  with
   | Some frame -> Wire.decode_response frame
-  | None -> failwith "forkbase client: server closed the connection"
+  | None | (exception Wire.Connection_closed) ->
+      failwith "forkbase client: server closed the connection"
 
 let expect_ok name = function
   | Wire.Error msg -> failwith (name ^ ": " ^ msg)

@@ -12,7 +12,9 @@ val connect :
 val close : t -> unit
 val call : t -> Wire.request -> Wire.response
 (** One request/response round trip.
-    @raise Failure if the server closed the connection. *)
+    @raise Failure if the server closed the connection, whether detected
+    mid-write ([EPIPE]/[ECONNRESET], surfaced as
+    {!Wire.Connection_closed}) or as EOF before the response. *)
 
 (** Typed conveniences (raise [Failure] on an [Error] response). *)
 

@@ -2,6 +2,7 @@ module Db = Forkbase.Db
 module Value = Fbtypes.Value
 
 let listen ?(backlog = 16) ~port () =
+  Wire.ignore_sigpipe ();
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -55,6 +56,13 @@ let stats_of_db db =
       List.fold_left
         (fun n key -> n + List.length (Db.list_tagged_branches db ~key))
         0 keys;
+    accepted = 0;
+    active = 0;
+    closed_ok = 0;
+    closed_err = 0;
+    frames_in = 0;
+    frames_out = 0;
+    timeouts = 0;
   }
 
 (* [checkpoint] is provided when the db is backed by a durable store
@@ -93,28 +101,313 @@ let handle ?checkpoint db (req : Wire.request) : Wire.response =
           Wire.Reclaimed { chunks; bytes })
   | Wire.Quit -> Wire.Ok_unit
 
-let serve ?checkpoint db listen_fd =
-  let quit = ref false in
-  while not !quit do
-    let conn, _peer = Unix.accept listen_fd in
-    let connected = ref true in
-    while !connected do
-      match Wire.read_frame conn with
-      | None -> connected := false
-      | Some frame ->
-          let response =
-            match Wire.decode_request frame with
-            | exception Fbutil.Codec.Corrupt msg -> Wire.Error ("bad request: " ^ msg)
-            | Wire.Quit ->
-                quit := true;
-                connected := false;
-                Wire.Ok_unit
-            | req -> (
-                try handle ?checkpoint db req
-                with e -> Wire.Error (Printexc.to_string e))
-          in
-          Wire.write_frame conn (Wire.encode_response response)
+(* --- the event loop --- *)
+
+type counters = {
+  mutable accepted : int;
+  mutable active : int;
+  mutable closed_ok : int;
+  mutable closed_err : int;
+  mutable frames_in : int;
+  mutable frames_out : int;
+  mutable timeouts : int;
+}
+
+let fresh_counters () =
+  {
+    accepted = 0;
+    active = 0;
+    closed_ok = 0;
+    closed_err = 0;
+    frames_in = 0;
+    frames_out = 0;
+    timeouts = 0;
+  }
+
+type config = {
+  max_conns : int;
+  idle_timeout : float;  (* seconds; <= 0. disables the reaper *)
+  max_frame_bytes : int;
+  drain_timeout : float;  (* grace for flushing responses at shutdown *)
+}
+
+let default_config =
+  {
+    max_conns = 64;
+    idle_timeout = 0.;
+    max_frame_bytes = Wire.default_max_frame_bytes;
+    drain_timeout = 5.;
+  }
+
+(* What a finished connection should be counted as. *)
+type close_reason = Ok_close | Err_close | Timeout_close
+
+(* One client connection.  [rbuf] holds received-but-unparsed bytes (frames
+   are reassembled across partial reads); [wcur]/[wpos] plus [wqueue] hold
+   encoded response frames awaiting the socket, resumed across partial
+   writes.  A [draining] connection takes no further input and is closed —
+   counted as [drain_reason] — once its queued output is flushed. *)
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;
+  wqueue : string Queue.t;
+  mutable wcur : Bytes.t;
+  mutable wpos : int;
+  mutable last_active : float;
+  mutable draining : bool;
+  mutable drain_reason : close_reason;
+}
+
+let has_output c = c.wpos < Bytes.length c.wcur || not (Queue.is_empty c.wqueue)
+let mid_frame c = Buffer.length c.rbuf > 0
+
+let drain c reason =
+  c.draining <- true;
+  c.drain_reason <- reason
+
+let serve ?checkpoint ?(config = default_config) db listen_fd =
+  Wire.ignore_sigpipe ();
+  Unix.set_nonblock listen_fd;
+  let k = fresh_counters () in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let shutting_down = ref false in
+  let shutdown_deadline = ref infinity in
+  let close_conn c reason =
+    (match reason with
+    | Ok_close -> k.closed_ok <- k.closed_ok + 1
+    | Err_close -> k.closed_err <- k.closed_err + 1
+    | Timeout_close ->
+        k.timeouts <- k.timeouts + 1;
+        k.closed_ok <- k.closed_ok + 1);
+    k.active <- k.active - 1;
+    Hashtbl.remove conns c.fd;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let enqueue_response c resp =
+    k.frames_out <- k.frames_out + 1;
+    Queue.push (Wire.encode_frame (Wire.encode_response resp)) c.wqueue
+  in
+  (* A [Stats] answer carries the live connection counters alongside the
+     db-level ones. *)
+  let with_counters = function
+    | Wire.Stats_r s ->
+        Wire.Stats_r
+          {
+            s with
+            Wire.accepted = k.accepted;
+            active = k.active;
+            closed_ok = k.closed_ok;
+            closed_err = k.closed_err;
+            frames_in = k.frames_in;
+            frames_out = k.frames_out;
+            timeouts = k.timeouts;
+          }
+    | resp -> resp
+  in
+  let begin_shutdown () =
+    if not !shutting_down then begin
+      shutting_down := true;
+      shutdown_deadline := Unix.gettimeofday () +. config.drain_timeout;
+      (* stop taking input everywhere; in-flight responses still flush *)
+      Hashtbl.iter (fun _ c -> if not c.draining then drain c Ok_close) conns
+    end
+  in
+  (* Parse every complete frame sitting in [c.rbuf]. *)
+  let process_frames c =
+    let consumed = ref 0 in
+    let len () = Buffer.length c.rbuf - !consumed in
+    let byte i = Buffer.nth c.rbuf (!consumed + i) in
+    (try
+       while (not c.draining) && len () >= Wire.header_bytes do
+         let n = Wire.frame_length (byte 0) (byte 1) (byte 2) (byte 3) in
+         (* Oversized announcement: protocol violation.  Reply with an
+            error (never allocating the announced body) and drop the
+            connection — the stream position is unrecoverable. *)
+         match Wire.check_frame_length ~max_frame_bytes:config.max_frame_bytes n with
+         | exception Fbutil.Codec.Corrupt msg ->
+             enqueue_response c (Wire.Error ("bad request: " ^ msg));
+             drain c Err_close
+         | () ->
+             if len () < Wire.header_bytes + n then raise Exit (* incomplete *);
+             let frame = Buffer.sub c.rbuf (!consumed + Wire.header_bytes) n in
+             consumed := !consumed + Wire.header_bytes + n;
+             k.frames_in <- k.frames_in + 1;
+             let response =
+               match Wire.decode_request frame with
+               | exception Fbutil.Codec.Corrupt msg ->
+                   Wire.Error ("bad request: " ^ msg)
+               | Wire.Quit ->
+                   drain c Ok_close;
+                   begin_shutdown ();
+                   Wire.Ok_unit
+               | req -> (
+                   try with_counters (handle ?checkpoint db req)
+                   with e -> Wire.Error (Printexc.to_string e))
+             in
+             enqueue_response c response
+       done
+     with Exit -> ());
+    if !consumed > 0 then begin
+      let rest = Buffer.sub c.rbuf !consumed (Buffer.length c.rbuf - !consumed) in
+      Buffer.clear c.rbuf;
+      Buffer.add_string c.rbuf rest
+    end
+  in
+  let scratch = Bytes.create 65536 in
+  let handle_readable c =
+    match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        None
+    | exception Unix.Unix_error _ -> Some Err_close
+    | 0 ->
+        (* Peer closed.  A half-received frame means it vanished
+           mid-request; pending output still gets a flush attempt. *)
+        if mid_frame c then Some Err_close
+        else if has_output c then begin
+          drain c Ok_close;
+          None
+        end
+        else Some Ok_close
+    | n ->
+        c.last_active <- Unix.gettimeofday ();
+        Buffer.add_subbytes c.rbuf scratch 0 n;
+        process_frames c;
+        None
+  in
+  let handle_writable c =
+    let result = ref None in
+    let continue = ref true in
+    while !continue do
+      if c.wpos >= Bytes.length c.wcur then
+        match Queue.take_opt c.wqueue with
+        | None ->
+            continue := false;
+            if c.draining then result := Some c.drain_reason
+        | Some frame ->
+            c.wcur <- Bytes.of_string frame;
+            c.wpos <- 0
+      else
+        match Unix.write c.fd c.wcur c.wpos (Bytes.length c.wcur - c.wpos) with
+        | n ->
+            c.wpos <- c.wpos + n;
+            c.last_active <- Unix.gettimeofday ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            continue := false
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ ->
+            continue := false;
+            result := Some Err_close
     done;
-    Unix.close conn
+    !result
+  in
+  let accept_new () =
+    let continue = ref true in
+    while !continue && (not !shutting_down) && k.active < config.max_conns do
+      match Unix.accept listen_fd with
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          continue := false
+      | exception Unix.Unix_error _ -> continue := false
+      | fd, _peer ->
+          Unix.set_nonblock fd;
+          k.accepted <- k.accepted + 1;
+          k.active <- k.active + 1;
+          Hashtbl.replace conns fd
+            {
+              fd;
+              rbuf = Buffer.create 256;
+              wqueue = Queue.create ();
+              wcur = Bytes.create 0;
+              wpos = 0;
+              last_active = Unix.gettimeofday ();
+              draining = false;
+              drain_reason = Ok_close;
+            }
+    done
+  in
+  let finished () =
+    !shutting_down
+    && (Hashtbl.length conns = 0 || Unix.gettimeofday () > !shutdown_deadline)
+  in
+  while not (finished ()) do
+    (* During shutdown a connection with nothing left to flush is done —
+       close it now rather than waiting out the drain deadline. *)
+    if !shutting_down then begin
+      let done_ =
+        Hashtbl.fold
+          (fun _ c acc -> if has_output c then acc else c :: acc)
+          conns []
+      in
+      List.iter (fun c -> close_conn c c.drain_reason) done_
+    end;
+    let now = Unix.gettimeofday () in
+    (* While shutting down or at the connection cap, leave the listener out
+       of the read set: new clients wait in the backlog instead of being
+       multiplexed. *)
+    let accepting = (not !shutting_down) && k.active < config.max_conns in
+    let read_fds = ref (if accepting then [ listen_fd ] else []) in
+    let write_fds = ref [] in
+    Hashtbl.iter
+      (fun fd c ->
+        if not c.draining then read_fds := fd :: !read_fds;
+        if has_output c then write_fds := fd :: !write_fds)
+      conns;
+    let timeout =
+      let idle =
+        if config.idle_timeout <= 0. then infinity
+        else
+          Hashtbl.fold
+            (fun _ c acc ->
+              Float.min acc (c.last_active +. config.idle_timeout -. now))
+            conns infinity
+      in
+      let drain = if !shutting_down then !shutdown_deadline -. now else infinity in
+      match Float.min idle drain with
+      | t when t = infinity -> -1. (* block until a descriptor is ready *)
+      | t -> Float.max 0.01 t
+    in
+    match Unix.select !read_fds !write_fds [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+        (* Each connection's events are fault-isolated: any error closes
+           that connection only and lands in the counters. *)
+        List.iter
+          (fun fd ->
+            if fd = listen_fd then accept_new ()
+            else
+              match Hashtbl.find_opt conns fd with
+              | None -> ()
+              | Some c -> (
+                  match handle_readable c with
+                  | Some reason -> close_conn c reason
+                  | None -> ()))
+          readable;
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt conns fd with
+            | None -> ()
+            | Some c -> (
+                match handle_writable c with
+                | Some reason -> close_conn c reason
+                | None -> ()))
+          writable;
+        if config.idle_timeout > 0. then begin
+          let now = Unix.gettimeofday () in
+          let stale =
+            Hashtbl.fold
+              (fun _ c acc ->
+                if now -. c.last_active > config.idle_timeout then c :: acc
+                else acc)
+              conns []
+          in
+          List.iter (fun c -> close_conn c Timeout_close) stale
+        end
   done;
-  Unix.close listen_fd
+  (* Drain deadline passed or every response flushed: whatever remains is
+     force-closed in an orderly way. *)
+  Hashtbl.fold (fun _ c acc -> c :: acc) conns []
+  |> List.iter (fun c -> close_conn c Ok_close);
+  Unix.close listen_fd;
+  k

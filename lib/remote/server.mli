@@ -1,23 +1,69 @@
-(** A single-servlet ForkBase network server.
+(** A fault-isolated, multiplexed ForkBase network server.
 
-    Listens on a TCP socket, decodes {!Wire} requests and executes them
-    against an embedded {!Forkbase.Db}.  Requests are handled one at a
-    time per connection, connections one at a time (the paper configures
-    one execution thread per servlet, §6); a {!Wire.Quit} request stops
-    the accept loop. *)
+    Listens on a TCP socket and serves many concurrent connections from a
+    single process with a [select]-based event loop: per-connection
+    incremental read buffers reassemble frames across partial reads on
+    non-blocking sockets, per-connection write queues resume partial
+    writes, idle connections are reaped, and the connection count is
+    capped.  Every connection is fault-isolated — a peer that disconnects
+    mid-request, sends garbage, or announces an oversized frame loses
+    {e its} connection (recorded in the {!counters}) while every other
+    client keeps being served.  A {!Wire.Quit} request triggers a graceful
+    shutdown: accepting stops and in-flight responses are drained before
+    sockets close. *)
 
 val listen : ?backlog:int -> port:int -> unit -> Unix.file_descr
-(** Bind and listen on 127.0.0.1:[port]; [port] 0 picks an ephemeral one. *)
+(** Bind and listen on 127.0.0.1:[port]; [port] 0 picks an ephemeral one.
+    Also ignores [SIGPIPE] for the process (see {!Wire.ignore_sigpipe}). *)
 
 val bound_port : Unix.file_descr -> int
 
+type counters = {
+  mutable accepted : int;  (** connections accepted since start *)
+  mutable active : int;  (** connections currently open *)
+  mutable closed_ok : int;  (** orderly closes *)
+  mutable closed_err : int;
+      (** faulted closes: disconnect mid-frame, protocol violation,
+          oversized frame, socket error *)
+  mutable frames_in : int;  (** complete request frames decoded *)
+  mutable frames_out : int;  (** response frames queued *)
+  mutable timeouts : int;  (** idle connections reaped *)
+}
+(** Per-server serving counters, also spliced into every [Stats] response
+    answered while serving. *)
+
+type config = {
+  max_conns : int;
+      (** accepting pauses at this many open connections; further clients
+          wait in the listen backlog (default 64) *)
+  idle_timeout : float;
+      (** seconds without traffic before a connection is reaped;
+          [<= 0.] disables (default) *)
+  max_frame_bytes : int;
+      (** request frames announcing more than this are rejected without
+          allocating the announced size
+          (default {!Wire.default_max_frame_bytes}) *)
+  drain_timeout : float;
+      (** grace period for flushing in-flight responses during graceful
+          shutdown (default 5s) *)
+}
+
+val default_config : config
+
 val serve :
-  ?checkpoint:(unit -> int * int) -> Forkbase.Db.t -> Unix.file_descr -> unit
-(** Accept loop; returns after a [Quit] request.  The listening socket is
-    closed on exit.  [checkpoint] is supplied when the db is backed by a
-    durable store (lib/persist): it runs checkpoint + compaction and
-    returns the reclaimed (chunks, bytes); without it a [Checkpoint]
-    request is answered with an error. *)
+  ?checkpoint:(unit -> int * int) ->
+  ?config:config ->
+  Forkbase.Db.t ->
+  Unix.file_descr ->
+  counters
+(** Event loop; returns the final counters after a [Quit]-initiated
+    graceful shutdown.  The listening socket is closed on exit.  No peer
+    behaviour — disconnects, resets, garbage, oversized frames — raises
+    out of [serve]; per-connection faults only close that connection.
+    [checkpoint] is supplied when the db is backed by a durable store
+    (lib/persist): it runs checkpoint + compaction and returns the
+    reclaimed (chunks, bytes); without it a [Checkpoint] request is
+    answered with an error. *)
 
 val handle :
   ?checkpoint:(unit -> int * int) -> Forkbase.Db.t -> Wire.request ->
@@ -25,3 +71,5 @@ val handle :
 (** The request dispatcher, exposed for tests. *)
 
 val stats_of_db : Forkbase.Db.t -> Wire.stats
+(** Db-level stats with all connection counters zero; {!serve} fills them
+    in when answering over the wire. *)

@@ -31,6 +31,15 @@ type stats = {
   misses : int;
   keys : int;
   branches : int;  (** tagged branches over all keys *)
+  (* server connection counters; all zero when the stats come from an
+     embedded db rather than a running server *)
+  accepted : int;
+  active : int;
+  closed_ok : int;
+  closed_err : int;
+  frames_in : int;
+  frames_out : int;
+  timeouts : int;
 }
 
 type response =
@@ -205,7 +214,8 @@ let encode_response resp =
       Buffer.add_char buf 's';
       List.iter (Codec.varint buf)
         [ s.chunks; s.bytes; s.puts; s.dedup_hits; s.gets; s.misses; s.keys;
-          s.branches ]
+          s.branches; s.accepted; s.active; s.closed_ok; s.closed_err;
+          s.frames_in; s.frames_out; s.timeouts ]
   | Reclaimed { chunks; bytes } ->
       Buffer.add_char buf 'c';
       Codec.varint buf chunks;
@@ -243,7 +253,17 @@ let decode_response s =
         let misses = Codec.read_varint r in
         let keys = Codec.read_varint r in
         let branches = Codec.read_varint r in
-        Stats_r { chunks; bytes; puts; dedup_hits; gets; misses; keys; branches }
+        let accepted = Codec.read_varint r in
+        let active = Codec.read_varint r in
+        let closed_ok = Codec.read_varint r in
+        let closed_err = Codec.read_varint r in
+        let frames_in = Codec.read_varint r in
+        let frames_out = Codec.read_varint r in
+        let timeouts = Codec.read_varint r in
+        Stats_r
+          { chunks; bytes; puts; dedup_hits; gets; misses; keys; branches;
+            accepted; active; closed_ok; closed_err; frames_in; frames_out;
+            timeouts }
     | 'c' ->
         let chunks = Codec.read_varint r in
         Reclaimed { chunks; bytes = Codec.read_varint r }
@@ -255,37 +275,84 @@ let decode_response s =
 
 (* --- framing --- *)
 
+exception Connection_closed
+
+let default_max_frame_bytes = 4 * 1024 * 1024
+
+let ignore_sigpipe () =
+  (* A peer closing mid-write must surface as EPIPE from [write], not as a
+     process-killing signal. *)
+  if Sys.os_type = "Unix" then
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+(* [Unix.write]/[Unix.read] on blocking sockets: retry interrupted syscalls
+   and turn a vanished peer into a clean, typed condition instead of an
+   untyped [Unix_error] (or a fatal SIGPIPE, see [ignore_sigpipe]). *)
 let really_write fd bytes off len =
   let written = ref 0 in
   while !written < len do
-    written := !written + Unix.write fd bytes (off + !written) (len - !written)
+    match Unix.write fd bytes (off + !written) (len - !written) with
+    | n -> written := !written + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception
+        Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN), _, _)
+      ->
+        raise Connection_closed
   done
 
 let really_read fd bytes off len =
   let got = ref 0 in
   let eof = ref false in
   while (not !eof) && !got < len do
-    let n = Unix.read fd bytes (off + !got) (len - !got) in
-    if n = 0 then eof := true else got := !got + n
+    match Unix.read fd bytes (off + !got) (len - !got) with
+    | 0 -> eof := true
+    | n -> got := !got + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception
+        Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.ESHUTDOWN), _, _)
+      ->
+        (* a reset peer reads as end-of-stream *)
+        eof := true
   done;
   not !eof
 
-let write_frame fd body =
+let header_bytes = 4
+
+let encode_frame body =
   let n = String.length body in
-  let frame = Bytes.create (4 + n) in
+  let frame = Bytes.create (header_bytes + n) in
   Bytes.set frame 0 (Char.chr ((n lsr 24) land 0xff));
   Bytes.set frame 1 (Char.chr ((n lsr 16) land 0xff));
   Bytes.set frame 2 (Char.chr ((n lsr 8) land 0xff));
   Bytes.set frame 3 (Char.chr (n land 0xff));
   Bytes.blit_string body 0 frame 4 n;
-  really_write fd frame 0 (4 + n)
+  Bytes.unsafe_to_string frame
 
-let read_frame fd =
-  let header = Bytes.create 4 in
-  if not (really_read fd header 0 4) then None
+let frame_length b0 b1 b2 b3 =
+  (Char.code b0 lsl 24) lor (Char.code b1 lsl 16) lor (Char.code b2 lsl 8)
+  lor Char.code b3
+
+let check_frame_length ~max_frame_bytes n =
+  if n > max_frame_bytes then
+    raise
+      (Codec.Corrupt
+         (Printf.sprintf "frame length %d exceeds limit %d" n max_frame_bytes))
+
+let write_frame fd body =
+  let frame = encode_frame body in
+  really_write fd (Bytes.unsafe_of_string frame) 0 (String.length frame)
+
+let read_frame ?(max_frame_bytes = default_max_frame_bytes) fd =
+  let header = Bytes.create header_bytes in
+  if not (really_read fd header 0 header_bytes) then None
   else begin
-    let b i = Char.code (Bytes.get header i) in
-    let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    let n =
+      frame_length (Bytes.get header 0) (Bytes.get header 1)
+        (Bytes.get header 2) (Bytes.get header 3)
+    in
+    (* Reject before [Bytes.create n]: a corrupt or hostile header must not
+       force a ~4 GiB allocation attempt. *)
+    check_frame_length ~max_frame_bytes n;
     let body = Bytes.create n in
     if not (really_read fd body 0 n) then None
     else Some (Bytes.unsafe_to_string body)

@@ -40,7 +40,19 @@ type stats = {
   misses : int;
   keys : int;
   branches : int;  (** tagged branches over all keys *)
+  accepted : int;  (** connections accepted since the server started *)
+  active : int;  (** connections currently open *)
+  closed_ok : int;  (** orderly closes (peer finished, or server drained) *)
+  closed_err : int;
+      (** faulted closes: peer vanished mid-frame, protocol violation,
+          oversized frame, socket error *)
+  frames_in : int;
+  frames_out : int;
+  timeouts : int;  (** idle connections reaped by the server *)
 }
+(** Chunk-store / db counters plus the serving-side connection counters.
+    The connection counters are all zero when the stats describe an
+    embedded db rather than a running {!Server}. *)
 
 type response =
   | Uid of Fbchunk.Cid.t
@@ -59,6 +71,41 @@ val decode_request : string -> request
 val encode_response : response -> string
 val decode_response : string -> response
 
+(** {1 Framing} *)
+
+exception Connection_closed
+(** The peer is gone: raised instead of [EPIPE]/[ECONNRESET] escaping as an
+    untyped [Unix_error] out of a blocking write. *)
+
+val default_max_frame_bytes : int
+(** 4 MiB.  Both sides reject frames whose header announces more than this
+    (see {!read_frame}): a corrupt or hostile length must not force a
+    multi-GiB allocation. *)
+
+val ignore_sigpipe : unit -> unit
+(** Set [SIGPIPE] to ignore (no-op off Unix).  Called by server and client
+    setup so a peer closing mid-write surfaces as {!Connection_closed}
+    rather than killing the process. *)
+
+val header_bytes : int
+(** Length of the frame header (4 bytes, big-endian body length). *)
+
+val encode_frame : string -> string
+(** [encode_frame body] is the header followed by [body] — the exact bytes
+    [write_frame] puts on the wire, for callers managing their own write
+    queues. *)
+
+val frame_length : char -> char -> char -> char -> int
+(** Decode the 4 header bytes into a body length. *)
+
+val check_frame_length : max_frame_bytes:int -> int -> unit
+(** @raise Fbutil.Codec.Corrupt when the announced length exceeds the limit. *)
+
 val write_frame : Unix.file_descr -> string -> unit
-val read_frame : Unix.file_descr -> string option
-(** [None] on a clean peer close. *)
+(** @raise Connection_closed if the peer is gone.  Retries [EINTR]. *)
+
+val read_frame : ?max_frame_bytes:int -> Unix.file_descr -> string option
+(** [None] on a clean peer close (including a connection reset); retries
+    [EINTR].  [max_frame_bytes] (default {!default_max_frame_bytes}) bounds
+    the announced body length; violations raise [Fbutil.Codec.Corrupt]
+    {e before} allocating the body buffer. *)

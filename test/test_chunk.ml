@@ -85,7 +85,26 @@ let test_counting_wrapper () =
   ignore (s.Store.get cid);
   ignore (s.Store.get cid);
   Alcotest.(check int) "written" (Chunk.byte_size c) !written_bytes;
-  Alcotest.(check int) "read twice" (2 * Chunk.byte_size c) !read_bytes
+  Alcotest.(check int) "read twice" (2 * Chunk.byte_size c) !read_bytes;
+  (* a deduplicated put stores nothing, so it must not count as written *)
+  let (_ : Cid.t) = s.Store.put c in
+  Alcotest.(check int) "dedup put writes nothing" (Chunk.byte_size c)
+    !written_bytes;
+  let c2 = blob "fresh" in
+  let (_ : Cid.t) = s.Store.put c2 in
+  Alcotest.(check int) "new chunk counted"
+    (Chunk.byte_size c + Chunk.byte_size c2)
+    !written_bytes
+
+let test_zero_capacity_cache () =
+  (* capacity 0 used to raise Queue.Empty on the first eviction; it must
+     behave exactly like the inner store *)
+  let s = Store.with_cache ~capacity:0 (Store.mem_store ()) in
+  let c1 = blob "one" and c2 = blob "two" in
+  let i1 = s.Store.put c1 in
+  let i2 = s.Store.put c2 in
+  Alcotest.(check bool) "get 1" true (s.Store.get i1 = Some c1);
+  Alcotest.(check bool) "get 2" true (s.Store.get i2 = Some c2)
 
 let test_cache_serves_hits_and_evicts () =
   let gets_seen = ref 0 in
@@ -161,6 +180,40 @@ let test_log_store_torn_tail () =
     (s2.Store.get fresh = Some (blob "after-recovery"));
   Log_store.close log2
 
+let test_log_store_bitrot_is_typed () =
+  with_temp @@ fun path ->
+  let log = Log_store.open_ path in
+  let s = Log_store.store log in
+  let (_ : Cid.t) = s.Store.put (blob "first") in
+  let (_ : Cid.t) = s.Store.put (blob "second") in
+  Log_store.close log;
+  (* a torn tail mid-length-header is recovered, not an error *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "\x80" (* varint continuation byte, then EOF *);
+  close_out oc;
+  (match Log_store.open_ path with
+  | exception Log_store.Corrupt_log _ ->
+      Alcotest.fail "torn mid-header tail should recover"
+  | log ->
+      Alcotest.(check int) "both records survive" 2
+        ((Log_store.store log).Store.stats ()).Store.chunks;
+      Log_store.close log);
+  (* flip the tag byte of the first record into an invalid one: a
+     length-complete record whose body no longer decodes.  That is bit
+     rot, not a torn tail — it must raise the typed error naming the
+     record's offset, not an untyped exception (or silent data loss). *)
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  ignore (Unix.lseek fd 1 Unix.SEEK_SET) (* past the 1-byte varint length *);
+  ignore (Unix.write_substring fd "Z" 0 1);
+  Unix.close fd;
+  match Log_store.open_ path with
+  | exception Log_store.Corrupt_log { file; off; reason = _ } ->
+      Alcotest.(check string) "names the file" path file;
+      Alcotest.(check int) "names the record offset" 0 off
+  | log ->
+      Log_store.close log;
+      Alcotest.fail "bit rot went undetected"
+
 let prop_store_roundtrip =
   QCheck.Test.make ~name:"mem store get . put = id" ~count:200
     QCheck.(pair (oneofl [ Chunk.Blob; Chunk.List; Chunk.Map ]) string)
@@ -186,6 +239,7 @@ let () =
           Alcotest.test_case "verifying" `Quick test_verifying_wrapper;
           Alcotest.test_case "counting" `Quick test_counting_wrapper;
           Alcotest.test_case "cache" `Quick test_cache_serves_hits_and_evicts;
+          Alcotest.test_case "zero-capacity cache" `Quick test_zero_capacity_cache;
         ] );
       ( "log-store",
         [
@@ -193,5 +247,7 @@ let () =
           Alcotest.test_case "dedup across sessions" `Quick
             test_log_store_dedup_across_sessions;
           Alcotest.test_case "torn tail recovery" `Quick test_log_store_torn_tail;
+          Alcotest.test_case "bit rot is a typed error" `Quick
+            test_log_store_bitrot_is_typed;
         ] );
     ]

@@ -1,5 +1,7 @@
-(* The network service: wire codecs (property-tested) and a real TCP
-   round trip against a forked server process. *)
+(* The network service: wire codecs (property-tested), a real TCP round
+   trip against a forked server process, and fault isolation of the
+   multiplexed event loop — concurrent clients, a client SIGKILLed
+   mid-request, oversized/truncated frames, idle timeouts. *)
 
 module Wire = Fbremote.Wire
 module Server = Fbremote.Server
@@ -48,6 +50,20 @@ let gen_request =
         return Wire.Quit;
       ])
 
+let gen_stats =
+  QCheck.Gen.(
+    map
+      (function
+        | [ chunks; bytes; puts; dedup_hits; gets; misses; keys; branches;
+            accepted; active; closed_ok; closed_err; frames_in; frames_out;
+            timeouts ] ->
+            Wire.Stats_r
+              { chunks; bytes; puts; dedup_hits; gets; misses; keys; branches;
+                accepted; active; closed_ok; closed_err; frames_in; frames_out;
+                timeouts }
+        | _ -> assert false)
+      (list_repeat 15 small_nat))
+
 let gen_response =
   QCheck.Gen.(
     oneof
@@ -59,14 +75,7 @@ let gen_response =
         map (fun bs -> Wire.Branches bs) (small_list (pair string gen_cid));
         map (fun hs -> Wire.History hs) (small_list (pair small_nat gen_cid));
         map (fun b -> Wire.Bool b) bool;
-        map
-          (fun ((chunks, bytes, puts), (dedup_hits, gets, misses), (keys, branches)) ->
-            Wire.Stats_r
-              { chunks; bytes; puts; dedup_hits; gets; misses; keys; branches })
-          (triple
-             (triple small_nat small_nat small_nat)
-             (triple small_nat small_nat small_nat)
-             (pair small_nat small_nat));
+        gen_stats;
         map (fun (chunks, bytes) -> Wire.Reclaimed { chunks; bytes })
           (pair small_nat small_nat);
         map (fun m -> Wire.Error m) string;
@@ -81,6 +90,29 @@ let prop_response_roundtrip =
   QCheck.Test.make ~name:"wire response round-trip" ~count:300
     (QCheck.make gen_response)
     (fun resp -> Wire.decode_response (Wire.encode_response resp) = resp)
+
+(* --- framing hardening --- *)
+
+let header_of n =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.unsafe_to_string b
+
+let test_read_frame_limit () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun fd -> try Unix.close fd with _ -> ()) [ a; b ])
+    (fun () ->
+      (* a hostile header announcing ~3.9 GiB must be rejected before the
+         body buffer is allocated *)
+      let huge = 0xF000_0000 in
+      ignore (Unix.write_substring a (header_of huge) 0 4);
+      match Wire.read_frame ~max_frame_bytes:(1 lsl 20) b with
+      | exception Fbutil.Codec.Corrupt _ -> ()
+      | _ -> Alcotest.fail "oversized frame accepted")
 
 (* --- handler semantics without sockets --- *)
 
@@ -112,65 +144,217 @@ let test_handle () =
   | Wire.Error _ -> ()
   | _ -> Alcotest.fail "checkpoint on volatile store should error"
 
-(* --- full TCP round trip --- *)
+(* --- server-process plumbing --- *)
 
-let test_tcp_session () =
+(* Fork a server child on an ephemeral port; returns (port, pid).  The
+   child serves a fresh in-memory db until Quit. *)
+let spawn_server ?config () =
   let listen_fd = Server.listen ~port:0 () in
   let port = Server.bound_port listen_fd in
   match Unix.fork () with
   | 0 ->
-      (* child: run the server until Quit *)
       let db = Forkbase.Db.create (Fbchunk.Chunk_store.mem_store ()) in
-      (try Server.serve db listen_fd with _ -> ());
+      (try ignore (Server.serve ?config db listen_fd : Server.counters)
+       with _ -> ());
       Unix._exit 0
-  | server_pid ->
+  | pid ->
       Unix.close listen_fd;
-      Fun.protect
-        ~finally:(fun () -> ignore (Unix.waitpid [] server_pid))
-        (fun () ->
-          let c = Client.connect ~retries:5 ~port () in
-          (* a realistic session: put, fork, edit, merge, track, verify *)
-          let v1 = Client.put c ~key:"page" (Wire.Blob "hello network") in
-          Client.fork c ~key:"page" ~from_branch:"master" ~new_branch:"draft";
-          let (_ : Cid.t) =
-            Client.put ~branch:"draft" c ~key:"page" (Wire.Blob "hello network, edited")
-          in
-          (match Client.get ~branch:"draft" c ~key:"page" with
-          | Wire.Blob "hello network, edited" -> ()
-          | _ -> Alcotest.fail "draft content");
-          (match Client.get c ~key:"page" with
-          | Wire.Blob "hello network" -> ()
-          | _ -> Alcotest.fail "master isolated");
-          let merged =
-            Client.merge ~resolver:"right" c ~key:"page" ~target:"master"
-              ~ref_branch:"draft"
-          in
-          (match Client.get c ~key:"page" with
-          | Wire.Blob "hello network, edited" -> ()
-          | _ -> Alcotest.fail "merged content");
-          let history = Client.track c ~key:"page" ~lo:0 ~hi:10 in
-          Alcotest.(check bool) "history reaches v1" true
-            (List.exists (fun (_, uid) -> Cid.equal uid v1) history);
-          Alcotest.(check bool) "verify over the wire" true (Client.verify c merged);
-          Alcotest.(check (list string)) "keys" [ "page" ] (Client.list_keys c);
-          (* maps over the wire *)
-          let (_ : Cid.t) =
-            Client.put c ~key:"scores" (Wire.Map [ ("a", "1"); ("b", "2") ])
-          in
-          (match Client.get c ~key:"scores" with
-          | Wire.Map [ ("a", "1"); ("b", "2") ] -> ()
-          | _ -> Alcotest.fail "map round trip");
-          Client.quit_server c;
-          Client.close c)
+      (port, pid)
+
+let with_server ?config f =
+  let port, pid = spawn_server ?config () in
+  Fun.protect
+    ~finally:(fun () ->
+      (* belt and braces: if the test failed before Quit, don't leak the
+         child or hang the suite *)
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid))
+    (fun () -> f port)
+
+let raw_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+(* --- full TCP round trip --- *)
+
+let test_tcp_session () =
+  with_server @@ fun port ->
+  let c = Client.connect ~retries:5 ~port () in
+  (* a realistic session: put, fork, edit, merge, track, verify *)
+  let v1 = Client.put c ~key:"page" (Wire.Blob "hello network") in
+  Client.fork c ~key:"page" ~from_branch:"master" ~new_branch:"draft";
+  let (_ : Cid.t) =
+    Client.put ~branch:"draft" c ~key:"page" (Wire.Blob "hello network, edited")
+  in
+  (match Client.get ~branch:"draft" c ~key:"page" with
+  | Wire.Blob "hello network, edited" -> ()
+  | _ -> Alcotest.fail "draft content");
+  (match Client.get c ~key:"page" with
+  | Wire.Blob "hello network" -> ()
+  | _ -> Alcotest.fail "master isolated");
+  let merged =
+    Client.merge ~resolver:"right" c ~key:"page" ~target:"master"
+      ~ref_branch:"draft"
+  in
+  (match Client.get c ~key:"page" with
+  | Wire.Blob "hello network, edited" -> ()
+  | _ -> Alcotest.fail "merged content");
+  let history = Client.track c ~key:"page" ~lo:0 ~hi:10 in
+  Alcotest.(check bool) "history reaches v1" true
+    (List.exists (fun (_, uid) -> Cid.equal uid v1) history);
+  Alcotest.(check bool) "verify over the wire" true (Client.verify c merged);
+  Alcotest.(check (list string)) "keys" [ "page" ] (Client.list_keys c);
+  (* maps over the wire *)
+  let (_ : Cid.t) =
+    Client.put c ~key:"scores" (Wire.Map [ ("a", "1"); ("b", "2") ])
+  in
+  (match Client.get c ~key:"scores" with
+  | Wire.Map [ ("a", "1"); ("b", "2") ] -> ()
+  | _ -> Alcotest.fail "map round trip");
+  Client.quit_server c;
+  Client.close c
+
+(* --- concurrent serving & fault isolation --- *)
+
+let test_two_interleaved_clients () =
+  with_server @@ fun port ->
+  let c1 = Client.connect ~retries:5 ~port () in
+  let c2 = Client.connect ~retries:5 ~port () in
+  (* interleave requests request-by-request on the same server *)
+  for i = 1 to 10 do
+    let v = Printf.sprintf "v%d" i in
+    let (_ : Cid.t) = Client.put c1 ~key:"alpha" (Wire.Str ("a" ^ v)) in
+    let (_ : Cid.t) = Client.put c2 ~key:"beta" (Wire.Str ("b" ^ v)) in
+    (match Client.get c1 ~key:"beta" with
+    | Wire.Str s -> Alcotest.(check string) "c1 sees c2 writes" ("b" ^ v) s
+    | _ -> Alcotest.fail "beta type");
+    match Client.get c2 ~key:"alpha" with
+    | Wire.Str s -> Alcotest.(check string) "c2 sees c1 writes" ("a" ^ v) s
+    | _ -> Alcotest.fail "alpha type"
+  done;
+  let s = Client.stats c1 in
+  Alcotest.(check int) "both connections accepted" 2 s.Wire.accepted;
+  Alcotest.(check int) "both connections active" 2 s.Wire.active;
+  Alcotest.(check bool) "frames counted" true (s.Wire.frames_in >= 40);
+  Client.quit_server c1;
+  Client.close c1;
+  Client.close c2
+
+let test_killed_client_is_isolated () =
+  with_server @@ fun port ->
+  let survivor = Client.connect ~retries:5 ~port () in
+  let (_ : Cid.t) = Client.put survivor ~key:"k" (Wire.Str "before") in
+  (* a second client sends half a request frame and is then SIGKILLed *)
+  let victim =
+    match Unix.fork () with
+    | 0 ->
+        (try
+           let fd = raw_connect port in
+           (* header announces 64 bytes; send only 7 *)
+           ignore (Unix.write_substring fd (header_of 64) 0 4);
+           ignore (Unix.write_substring fd "partial" 0 7);
+           Unix.sleepf 30.
+         with _ -> ());
+        Unix._exit 0
+    | pid -> pid
+  in
+  Unix.sleepf 0.3 (* let the partial frame reach the server *);
+  Unix.kill victim Sys.sigkill;
+  ignore (Unix.waitpid [] victim);
+  Unix.sleepf 0.3 (* let the server observe the EOF *);
+  (* the survivor completes all its operations against the same process *)
+  for i = 1 to 5 do
+    let v = Printf.sprintf "after%d" i in
+    let (_ : Cid.t) = Client.put survivor ~key:"k" (Wire.Str v) in
+    match Client.get survivor ~key:"k" with
+    | Wire.Str s -> Alcotest.(check string) "survivor round trip" v s
+    | _ -> Alcotest.fail "survivor value type"
+  done;
+  let s = Client.stats survivor in
+  Alcotest.(check int) "one errored close" 1 s.Wire.closed_err;
+  Alcotest.(check int) "survivor still active" 1 s.Wire.active;
+  Client.quit_server survivor;
+  Client.close survivor
+
+let test_oversized_frame_rejected () =
+  let config = { Server.default_config with Server.max_frame_bytes = 1024 } in
+  with_server ~config @@ fun port ->
+  let witness = Client.connect ~retries:5 ~port () in
+  let fd = raw_connect port in
+  (* announce far more than the limit; send no body at all *)
+  ignore (Unix.write_substring fd (header_of 10_000_000) 0 4);
+  (match Wire.read_frame fd with
+  | Some frame -> (
+      match Wire.decode_response frame with
+      | Wire.Error msg ->
+          Alcotest.(check bool) "error names the limit" true
+            (String.length msg > 0)
+      | _ -> Alcotest.fail "expected an Error response")
+  | None -> Alcotest.fail "expected an error frame before the close");
+  Alcotest.(check bool) "connection then closed" true (Wire.read_frame fd = None);
+  Unix.close fd;
+  (* the server survives and keeps serving others *)
+  let (_ : Cid.t) = Client.put witness ~key:"w" (Wire.Str "alive") in
+  let s = Client.stats witness in
+  Alcotest.(check int) "oversized close recorded as error" 1 s.Wire.closed_err;
+  Client.quit_server witness;
+  Client.close witness
+
+let test_truncated_frame_close () =
+  with_server @@ fun port ->
+  let witness = Client.connect ~retries:5 ~port () in
+  let fd = raw_connect port in
+  (* claim 50 bytes, deliver 5, vanish *)
+  ignore (Unix.write_substring fd (header_of 50) 0 4);
+  ignore (Unix.write_substring fd "stub!" 0 5);
+  Unix.close fd;
+  Unix.sleepf 0.3;
+  let (_ : Cid.t) = Client.put witness ~key:"w" (Wire.Str "alive") in
+  let s = Client.stats witness in
+  Alcotest.(check int) "truncated close recorded as error" 1 s.Wire.closed_err;
+  Client.quit_server witness;
+  Client.close witness
+
+let test_idle_timeout () =
+  let config = { Server.default_config with Server.idle_timeout = 0.3 } in
+  with_server ~config @@ fun port ->
+  let idle = Client.connect ~retries:5 ~port () in
+  let (_ : Cid.t) = Client.put idle ~key:"k" (Wire.Str "v") in
+  Unix.sleepf 0.9;
+  (* the idle connection was reaped server-side *)
+  (match Client.get idle ~key:"k" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "idle connection should be closed");
+  Client.close idle;
+  let fresh = Client.connect ~retries:5 ~port () in
+  let s = Client.stats fresh in
+  Alcotest.(check int) "timeout recorded" 1 s.Wire.timeouts;
+  Client.quit_server fresh;
+  Client.close fresh
 
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "remote"
     [
-      ("wire", [ q prop_request_roundtrip; q prop_response_roundtrip ]);
+      ( "wire",
+        [
+          q prop_request_roundtrip;
+          q prop_response_roundtrip;
+          Alcotest.test_case "frame size limit" `Quick test_read_frame_limit;
+        ] );
       ( "server",
         [
           Alcotest.test_case "handler" `Quick test_handle;
           Alcotest.test_case "tcp session" `Quick test_tcp_session;
+          Alcotest.test_case "two interleaved clients" `Quick
+            test_two_interleaved_clients;
+          Alcotest.test_case "killed client is isolated" `Quick
+            test_killed_client_is_isolated;
+          Alcotest.test_case "oversized frame rejected" `Quick
+            test_oversized_frame_rejected;
+          Alcotest.test_case "truncated frame close" `Quick
+            test_truncated_frame_close;
+          Alcotest.test_case "idle timeout" `Quick test_idle_timeout;
         ] );
     ]
