@@ -11,6 +11,7 @@
      forkbase merge <key> <target> <ref-branch> [--resolver r]
      forkbase keys
      forkbase verify <key> [--branch b]
+     forkbase fsck
      forkbase stats
      forkbase checkpoint *)
 
@@ -172,6 +173,25 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"re-hash a head version and its chunks")
     Term.(const run $ branch_arg $ key_pos)
 
+let fsck_cmd =
+  let run quiet =
+    let report = Fbcheck.Fsck.check_dir (data_dir ()) in
+    if not quiet then Format.printf "%a@." Fbcheck.Fsck.pp_report report;
+    if not (Fbcheck.Fsck.ok report) then exit 1
+  in
+  let quiet_flag =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ] ~doc:"Print nothing; exit status only.")
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "deep integrity check: re-hash every reachable chunk, re-verify \
+          POS-Tree split boundaries and ordering, and walk every branch \
+          head's derivation graph (exit 1 on any violation)")
+    Term.(const run $ quiet_flag)
+
 let print_conn_counters ~accepted ~active ~closed_ok ~closed_err ~frames_in
     ~frames_out ~timeouts =
   Printf.printf
@@ -292,5 +312,6 @@ let () =
        (Cmd.group info
           [
             put_cmd; get_cmd; fork_cmd; branches_cmd; log_cmd; merge_cmd;
-            keys_cmd; verify_cmd; stats_cmd; checkpoint_cmd; serve_cmd;
+            keys_cmd; verify_cmd; fsck_cmd; stats_cmd; checkpoint_cmd;
+            serve_cmd;
           ]))

@@ -1,0 +1,71 @@
+module Store = Fbchunk.Chunk_store
+module Splitmix = Fbutil.Splitmix
+
+type t = {
+  put_plan : (int, Store.fault) Hashtbl.t;
+  get_plan : (int, Store.fault) Hashtbl.t;
+  mutable armed : bool;
+  mutable injected : int;
+}
+
+let none () =
+  {
+    put_plan = Hashtbl.create 4;
+    get_plan = Hashtbl.create 4;
+    armed = true;
+    injected = 0;
+  }
+
+let exact ?(fail_puts = []) ?(drop_puts = []) ?(fail_gets = []) ?(drop_gets = [])
+    ?(corrupt_gets = []) () =
+  let t = none () in
+  List.iter (fun n -> Hashtbl.replace t.put_plan n `Fail) fail_puts;
+  List.iter (fun n -> Hashtbl.replace t.put_plan n `Drop) drop_puts;
+  List.iter (fun n -> Hashtbl.replace t.get_plan n `Fail) fail_gets;
+  List.iter (fun n -> Hashtbl.replace t.get_plan n `Drop) drop_gets;
+  List.iter
+    (fun (n, off) -> Hashtbl.replace t.get_plan n (`Corrupt off))
+    corrupt_gets;
+  t
+
+let random ~seed ~ops ?(put_fail = 0.) ?(put_drop = 0.) ?(get_corrupt = 0.)
+    ?(get_drop = 0.) () =
+  let t = none () in
+  let rng = Splitmix.create seed in
+  for n = 0 to ops - 1 do
+    (* One draw per (index, site) in a fixed order, so the schedule is a
+       pure function of the seed regardless of which rates are zero. *)
+    let fail = Splitmix.float rng < put_fail in
+    let drop = Splitmix.float rng < put_drop in
+    if fail then Hashtbl.replace t.put_plan n `Fail
+    else if drop then Hashtbl.replace t.put_plan n `Drop;
+    let corrupt = Splitmix.float rng < get_corrupt in
+    let byte = Splitmix.int rng 4096 in
+    let gdrop = Splitmix.float rng < get_drop in
+    if corrupt then Hashtbl.replace t.get_plan n (`Corrupt byte)
+    else if gdrop then Hashtbl.replace t.get_plan n `Drop
+  done;
+  t
+
+let disarm t = t.armed <- false
+let arm t = t.armed <- true
+let injected t = t.injected
+
+let consult t plan n : Store.fault =
+  if not t.armed then `Pass
+  else
+    match Hashtbl.find_opt plan n with
+    | None | Some `Pass -> `Pass
+    | Some fault ->
+        t.injected <- t.injected + 1;
+        fault
+
+let store t inner =
+  Store.faulty
+    ~put:(fun n -> consult t t.put_plan n)
+    ~get:(fun n -> consult t t.get_plan n)
+    inner
+
+let tear_file path ~drop =
+  let size = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (max 0 (size - max 0 drop))

@@ -1,0 +1,73 @@
+(** Deterministic fault schedules for chunk stores and store files.
+
+    A failpoint is a plan — fixed before the run, derived from explicit
+    operation indices or from a seed — of which store operations fault and
+    how.  Wrapping a store with {!store} makes crash-recovery and bit-rot
+    paths unit-testable: the same schedule always faults the same
+    operations, so a failing test replays from its seed alone, where the
+    old SIGKILL harness depended on scheduler timing.
+
+    Fault menu (the schedule format):
+    - {b fail the nth put}: the put raises
+      {!Fbchunk.Chunk_store.Injected_fault} before touching the backend —
+      an I/O error surfacing mid-operation;
+    - {b drop the nth put}: acknowledged but never stored — a lost write;
+    - {b corrupt a byte on the nth get}: one payload byte of the fetched
+      chunk is flipped — bit rot between write and read;
+    - {b drop / fail the nth get}: a missing or erroring read;
+    - {b short write}: {!tear_file} truncates the final bytes of a log or
+      journal — the torn tail a crash mid-append leaves;
+    - {b fsync loss}: {!Fbpersist.Persist.crash} releases a database
+      without its close-time fsync.
+
+    Put and get indices count from zero per wrapped store. *)
+
+type t
+
+val none : unit -> t
+(** A schedule that never faults (until armed with nothing, it only
+    counts operations). *)
+
+val exact :
+  ?fail_puts:int list ->
+  ?drop_puts:int list ->
+  ?fail_gets:int list ->
+  ?drop_gets:int list ->
+  ?corrupt_gets:(int * int) list ->
+  unit ->
+  t
+(** Fault exactly the listed operation indices.  [corrupt_gets] pairs a
+    get index with the byte offset to flip (taken mod the payload size). *)
+
+val random :
+  seed:int64 ->
+  ops:int ->
+  ?put_fail:float ->
+  ?put_drop:float ->
+  ?get_corrupt:float ->
+  ?get_drop:float ->
+  unit ->
+  t
+(** Derive an explicit schedule for the first [ops] puts and [ops] gets
+    from a SplitMix64 stream: each rate is the independent probability
+    that an operation index faults.  Same seed, same schedule. *)
+
+val disarm : t -> unit
+(** Stop injecting: every later operation passes through.  Models the
+    fault condition clearing (a healed disk, a restored replica). *)
+
+val arm : t -> unit
+(** Re-enable a disarmed schedule (counters keep advancing either way). *)
+
+val injected : t -> int
+(** Faults actually fired so far. *)
+
+val store : t -> Fbchunk.Chunk_store.t -> Fbchunk.Chunk_store.t
+(** Wrap a chunk store with this schedule (see
+    {!Fbchunk.Chunk_store.faulty}).  A schedule may wrap several stores;
+    each wrapper keeps its own operation counters but consults (and
+    counts into) the shared plan. *)
+
+val tear_file : string -> drop:int -> unit
+(** Truncate the final [drop] bytes of a file — a deterministic short
+    write / torn tail.  [drop] is clamped to the file size. *)

@@ -1,0 +1,218 @@
+module Cid = Fbchunk.Cid
+module Value = Fbtypes.Value
+module Prim = Fbtypes.Prim
+module Db = Forkbase.Db
+
+type mvalue =
+  | MStr of string
+  | MInt of int64
+  | MTuple of string list
+  | MBlob of string
+  | MList of string list
+  | MMap of (string * string) list
+  | MSet of string list
+
+let mvalue_of_value = function
+  | Value.Prim (Prim.Str s) -> MStr s
+  | Value.Prim (Prim.Int i) -> MInt i
+  | Value.Prim (Prim.Tuple fields) -> MTuple fields
+  | Value.Blob b -> MBlob (Fbtypes.Fblob.to_string b)
+  | Value.List l -> MList (Fbtypes.Flist.to_list l)
+  | Value.Map m -> MMap (Fbtypes.Fmap.bindings m)
+  | Value.Set s -> MSet (Fbtypes.Fset.elements s)
+
+let mvalue_equal a b = a = b
+
+let mvalue_to_string = function
+  | MStr s -> Printf.sprintf "str %S" s
+  | MInt i -> Printf.sprintf "int %Ld" i
+  | MTuple fields -> Printf.sprintf "tuple (%s)" (String.concat ", " fields)
+  | MBlob s ->
+      if String.length s <= 32 then Printf.sprintf "blob %S" s
+      else Printf.sprintf "blob <%d bytes>" (String.length s)
+  | MList l -> Printf.sprintf "list [%d elems]" (List.length l)
+  | MMap kvs -> Printf.sprintf "map {%d bindings}" (List.length kvs)
+  | MSet l -> Printf.sprintf "set {%d members}" (List.length l)
+
+type entry = {
+  mutable tagged : (string * Cid.t) list; (* sorted by branch name *)
+  mutable untagged : Cid.Set.t;
+  mutable known : Cid.Set.t;
+  mutable values : mvalue Cid.Map.t;
+}
+
+type t = { entries : (string, entry) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 16 }
+
+let entry t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          tagged = [];
+          untagged = Cid.Set.empty;
+          known = Cid.Set.empty;
+          values = Cid.Map.empty;
+        }
+      in
+      Hashtbl.replace t.entries key e;
+      e
+
+let set_head e branch uid =
+  e.tagged <-
+    List.merge
+      (fun (a, _) (b, _) -> String.compare a b)
+      [ (branch, uid) ]
+      (List.remove_assoc branch e.tagged)
+
+(* Branch_table.record_object: a uid already known is ignored entirely;
+   a new one becomes an untagged head and retires its bases. *)
+let record e ~uid ~bases v =
+  if not (Cid.Set.mem uid e.known) then begin
+    e.known <- Cid.Set.add uid e.known;
+    e.untagged <-
+      Cid.Set.add uid
+        (List.fold_left (fun s b -> Cid.Set.remove b s) e.untagged bases)
+  end;
+  e.values <- Cid.Map.add uid v e.values
+
+let apply_put t ~key ~branch ~uid v =
+  let e = entry t key in
+  let bases =
+    match List.assoc_opt branch e.tagged with None -> [] | Some h -> [ h ]
+  in
+  record e ~uid ~bases v;
+  set_head e branch uid
+
+let apply_put_at t ~key ~base ~uid v =
+  let e = entry t key in
+  record e ~uid ~bases:[ base ] v
+
+let apply_fork t ~key ~new_branch ~uid =
+  (* fork is set_head only: the forked-from head stays wherever it was *)
+  set_head (entry t key) new_branch uid
+
+let apply_rename t ~key ~target ~new_name =
+  let e = entry t key in
+  match List.assoc_opt target e.tagged with
+  | None -> ()
+  | Some uid ->
+      if List.mem_assoc new_name e.tagged then ()
+      else begin
+        e.tagged <- List.remove_assoc target e.tagged;
+        set_head e new_name uid
+      end
+
+let apply_remove t ~key ~target =
+  let e = entry t key in
+  e.tagged <- List.remove_assoc target e.tagged
+
+let apply_merge t ~key ~target ~bases ~uid v =
+  let e = entry t key in
+  record e ~uid ~bases v;
+  set_head e target uid
+
+let apply_merge_untagged t ~key ~heads ~uid v =
+  match heads with
+  | [] | [ _ ] -> ()
+  | _ ->
+      let e = entry t key in
+      (* the engine records n-1 intermediate merge objects, but their net
+         effect on the untagged set telescopes: the inputs retire, the
+         final result remains (db.ml merge_untagged + replace_untagged) *)
+      e.known <- Cid.Set.add uid e.known;
+      e.untagged <-
+        Cid.Set.add uid
+          (List.fold_left (fun s h -> Cid.Set.remove h s) e.untagged heads);
+      e.values <- Cid.Map.add uid v e.values
+
+let keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [] |> List.sort String.compare
+
+let branches t ~key =
+  match Hashtbl.find_opt t.entries key with
+  | None -> []
+  | Some e -> List.map fst e.tagged
+
+let head t ~key ~branch =
+  match Hashtbl.find_opt t.entries key with
+  | None -> None
+  | Some e -> List.assoc_opt branch e.tagged
+
+let untagged t ~key =
+  match Hashtbl.find_opt t.entries key with
+  | None -> []
+  | Some e -> Cid.Set.elements e.untagged
+
+let value_of t ~key ~uid =
+  match Hashtbl.find_opt t.entries key with
+  | None -> None
+  | Some e -> Cid.Map.find_opt uid e.values
+
+(* ------------------------------------------------------------------ *)
+
+let check_against t db =
+  let problems = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  (* compare only keys with at least one head: an operation that failed
+     mid-flight (injected fault) leaves an empty, unjournaled branch table
+     behind in the engine — observationally inert, gone after recovery *)
+  let live_model k =
+    match Hashtbl.find_opt t.entries k with
+    | None -> false
+    | Some e -> e.tagged <> [] || not (Cid.Set.is_empty e.untagged)
+  in
+  let live_db k =
+    Db.list_tagged_branches db ~key:k <> []
+    || Db.list_untagged_branches db ~key:k <> []
+  in
+  let model_keys = List.filter live_model (keys t) in
+  let db_keys = List.filter live_db (Db.list_keys db) in
+  if model_keys <> db_keys then
+    fail "key list: model [%s], db [%s]"
+      (String.concat "; " model_keys)
+      (String.concat "; " db_keys);
+  let check_value ~key ~what uid =
+    match value_of t ~key ~uid with
+    | None -> fail "key %S: %s head %s has no model value" key what
+                (Cid.short_hex uid)
+    | Some expected -> (
+        match Db.get_version db uid with
+        | Error e ->
+            fail "key %S: %s head %s unreadable: %s" key what
+              (Cid.short_hex uid) (Db.error_to_string e)
+        | Ok v ->
+            let actual = mvalue_of_value v in
+            if not (mvalue_equal expected actual) then
+              fail "key %S: %s head %s holds %s, model expects %s" key what
+                (Cid.short_hex uid) (mvalue_to_string actual)
+                (mvalue_to_string expected))
+  in
+  List.iter
+    (fun key ->
+      let e = entry t key in
+      let db_tagged = Db.list_tagged_branches db ~key in
+      if e.tagged <> db_tagged then
+        fail "key %S: tagged branches: model [%s], db [%s]" key
+          (String.concat "; "
+             (List.map (fun (b, u) -> b ^ "=" ^ Cid.short_hex u) e.tagged))
+          (String.concat "; "
+             (List.map (fun (b, u) -> b ^ "=" ^ Cid.short_hex u) db_tagged));
+      let model_untagged = Cid.Set.elements e.untagged in
+      let db_untagged =
+        List.sort Cid.compare (Db.list_untagged_branches db ~key)
+      in
+      if not (List.equal Cid.equal model_untagged db_untagged) then
+        fail "key %S: untagged heads: model %d [%s], db %d [%s]" key
+          (List.length model_untagged)
+          (String.concat "; " (List.map Cid.short_hex model_untagged))
+          (List.length db_untagged)
+          (String.concat "; " (List.map Cid.short_hex db_untagged));
+      List.iter
+        (fun (branch, uid) -> check_value ~key ~what:("branch " ^ branch) uid)
+        e.tagged;
+      List.iter (fun uid -> check_value ~key ~what:"untagged" uid) model_untagged)
+    model_keys;
+  List.rev !problems

@@ -24,6 +24,7 @@ type t = {
 
 exception Missing_chunk of Cid.t
 exception Corrupt_chunk of Cid.t
+exception Injected_fault of string
 
 let get_exn t cid =
   match t.get cid with Some c -> c | None -> raise (Missing_chunk cid)
@@ -61,6 +62,50 @@ let verifying inner =
         else raise (Corrupt_chunk cid)
   in
   { inner with get }
+
+type fault = [ `Pass | `Fail | `Drop | `Corrupt of int ]
+
+(* Flip one payload bit of a chunk, never the tag byte: the result still
+   decodes but no longer rehashes to the cid that referenced it — the
+   bit-rot shape the tamper checks must catch.  A chunk with an empty
+   payload has nothing to flip; the caller falls back to dropping it. *)
+let flip_payload_byte chunk off =
+  let enc = Chunk.encode chunk in
+  let len = String.length enc in
+  if len < 2 then None
+  else begin
+    let b = Bytes.of_string enc in
+    let i = 1 + (off mod (len - 1)) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+    Some (Chunk.decode (Bytes.unsafe_to_string b))
+  end
+
+let faulty ~put:put_plan ~get:get_plan inner =
+  let puts = ref 0 and gets = ref 0 in
+  let put chunk =
+    let n = !puts in
+    incr puts;
+    match (put_plan n : fault) with
+    | `Pass | `Corrupt _ -> inner.put chunk
+    | `Fail -> raise (Injected_fault (Printf.sprintf "put #%d failed" n))
+    | `Drop -> Chunk.cid chunk (* acknowledged but never stored: a lost write *)
+  in
+  let get cid =
+    let n = !gets in
+    incr gets;
+    match (get_plan n : fault) with
+    | `Pass -> inner.get cid
+    | `Fail -> raise (Injected_fault (Printf.sprintf "get #%d failed" n))
+    | `Drop -> None
+    | `Corrupt off -> (
+        match inner.get cid with
+        | None -> None
+        | Some chunk -> (
+            match flip_payload_byte chunk off with
+            | None -> None
+            | Some _ as corrupted -> corrupted))
+  in
+  { inner with put; get }
 
 let counting inner ~read_bytes ~written_bytes =
   let put chunk =

@@ -28,6 +28,10 @@ type t = {
 exception Missing_chunk of Cid.t
 exception Corrupt_chunk of Cid.t
 
+exception Injected_fault of string
+(** Raised by {!faulty} wrappers on a scheduled fault — never by a real
+    backend, so tests can distinguish injected failures from genuine bugs. *)
+
 val get_exn : t -> Cid.t -> Chunk.t
 (** @raise Missing_chunk when absent. *)
 
@@ -37,6 +41,21 @@ val mem_store : unit -> t
 val verifying : t -> t
 (** Wrap a store so every [get] re-hashes the chunk and raises
     {!Corrupt_chunk} on a cid mismatch — the client-side tamper check. *)
+
+type fault = [ `Pass | `Fail | `Drop | `Corrupt of int ]
+(** Verdict for one store operation: execute it, raise {!Injected_fault},
+    pretend it happened without doing it (lost write / missing read), or —
+    on get — flip one payload byte of the fetched chunk (the byte index is
+    the given offset mod the payload size; the tag byte is never touched so
+    the damaged chunk still decodes but fails the cid re-hash). *)
+
+val faulty : put:(int -> fault) -> get:(int -> fault) -> t -> t
+(** Wrap a store with deterministic fault injection: [put n] / [get n] are
+    consulted with the zero-based operation index (separate counters per
+    wrapper) before each call, so crash-recovery and bit-rot paths become
+    unit-testable.  [`Corrupt _] on a put behaves as [`Pass] — a
+    content-addressed put cannot store the wrong bytes for a cid.
+    The schedule closures live in {!Fbcheck.Failpoint} (lib/check). *)
 
 val counting :
   t -> read_bytes:int ref -> written_bytes:int ref -> t

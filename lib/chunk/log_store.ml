@@ -113,6 +113,15 @@ let close t =
   close_out t.oc;
   close_in t.ic
 
+(* Simulated crash: release the file without the close-time fsync or any
+   other graceful-shutdown work.  The write path flushes to the OS at every
+   operation boundary, so this leaves on disk exactly what a SIGKILL
+   between operations would — deterministically, and inside one process. *)
+let crash t =
+  Stdlib.flush t.oc;
+  close_out_noerr t.oc;
+  close_in_noerr t.ic
+
 let path t = t.file
 let file_size t = t.tail
 

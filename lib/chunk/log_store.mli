@@ -28,6 +28,12 @@ val close : t -> unit
 (** Flushes and fsyncs before closing, regardless of [sync_every]: a closed
     log is always durable. *)
 
+val crash : t -> unit
+(** Release the file descriptors {e without} the close-time fsync — a
+    deterministic stand-in for SIGKILLing the process at an operation
+    boundary.  The log on disk is left exactly as the write path flushed
+    it; combine with an explicit truncation to model a torn tail. *)
+
 val store : t -> Chunk_store.t
 (** The generic store interface backed by this log. *)
 

@@ -305,18 +305,30 @@ let merge_untagged ?(resolver = Merge.Manual) ?(context = "") t ~key heads =
   | [] -> Error (Unknown_key key)
   | [ single ] -> Ok single
   | first :: rest ->
-      let rec fold acc muts = function
-        | [] -> Ok (acc, List.rev muts)
+      (* Store the intermediate merge objects (orphan chunks if we bail)
+         but touch no branch table until the whole chain succeeds: a
+         conflict halfway through must leave the table exactly as it was,
+         or the in-memory state diverges from what was journaled. *)
+      let rec fold acc pending = function
+        | [] -> Ok (acc, List.rev pending)
         | uid :: rest -> (
             match merge_versions t ~resolver acc uid with
             | Error _ as e -> e
             | Ok (value, base_objs) ->
-                let merged, recorded = commit_object t ~key ~context ~base_objs value in
-                fold merged (recorded :: muts) rest)
+                let obj = Fobject.of_value ~key ~context ~bases:base_objs value in
+                let merged = Fobject.store t.store obj in
+                fold merged ((merged, obj.Fobject.bases) :: pending) rest)
       in
       (match fold first [] rest with
       | Error _ as e -> e
-      | Ok (merged, muts) ->
+      | Ok (merged, pending) ->
+          let muts =
+            List.map
+              (fun (uid, bases) ->
+                Branch_table.record_object (table t key) ~uid ~bases;
+                Record_object { key; uid; bases })
+              pending
+          in
           Branch_table.replace_untagged (table t key) ~drop:heads ~add:merged;
           notify t (muts @ [ Replace_untagged { key; drop = heads; add = merged } ]);
           Ok merged)

@@ -176,6 +176,13 @@ let close t =
   sync t;
   close_out t.oc
 
+(* Simulated crash: release the file without syncing.  [append] flushes per
+   entry, so the file holds exactly the committed prefix a SIGKILL between
+   operations would leave. *)
+let crash t =
+  Stdlib.flush t.oc;
+  close_out_noerr t.oc
+
 let path t = t.file
 let file_size t = (Unix.stat t.file).Unix.st_size
 

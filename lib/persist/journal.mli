@@ -29,6 +29,10 @@ val sync : t -> unit
 val close : t -> unit
 (** Syncs, then closes. *)
 
+val crash : t -> unit
+(** Release the file {e without} the close-time fsync — the deterministic
+    crash used by the fault-injection harness (lib/check). *)
+
 val path : t -> string
 val file_size : t -> int
 

@@ -94,7 +94,8 @@ let replay db entries =
       | Journal.Mutation m -> Db.apply_mutation db m))
     entries
 
-let open_db ?cfg ?acl ?(sync_every = 512) ?(journal_sync_every = 1) dir =
+let open_db ?cfg ?acl ?(sync_every = 512) ?(journal_sync_every = 1) ?wrap_store
+    ?recovery_check dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   (* Leftovers from a compaction or checkpoint that crashed before its
      atomic rename are dead weight: remove them. *)
@@ -109,6 +110,9 @@ let open_db ?cfg ?acl ?(sync_every = 512) ?(journal_sync_every = 1) dir =
       raise (Corrupt_db (Bad_chunk_log { path = file; off; reason }))
   in
   let store, set_store = Store.redirectable (Log_store.store log) in
+  (* Fault-injection / instrumentation wrappers go outside the redirectable
+     store so compaction can still swap the backing log underneath them. *)
+  let store = match wrap_store with None -> store | Some w -> w store in
   let db = Db.create ?cfg ?acl store in
   let journal, entries =
     try Journal.open_ (journal_file dir)
@@ -118,6 +122,17 @@ let open_db ?cfg ?acl ?(sync_every = 512) ?(journal_sync_every = 1) dir =
   in
   replay db entries;
   validate_heads db;
+  (* Optional deep post-recovery verification (e.g. Fbcheck.Fsck).  Runs
+     before the mutation hook is installed, so a checker that reads through
+     the store cannot journal anything. *)
+  (match recovery_check with
+  | None -> ()
+  | Some check -> (
+      try check db
+      with e ->
+        Journal.close journal;
+        Log_store.close log;
+        raise e));
   let t =
     {
       dir;
@@ -177,3 +192,11 @@ let close t =
   sync t;
   Journal.close t.journal;
   Log_store.close t.log
+
+(* Deterministic crash: drop the files as a SIGKILL at an operation
+   boundary would — no final sync, no checkpoint.  Acked operations are
+   already flushed per [on_mutation], so a subsequent [open_db] recovers
+   exactly the acknowledged state. *)
+let crash t =
+  Journal.crash t.journal;
+  Log_store.crash t.log

@@ -35,6 +35,8 @@ val open_db :
   ?acl:(key:string -> branch:string option -> Forkbase.Db.access -> bool) ->
   ?sync_every:int ->
   ?journal_sync_every:int ->
+  ?wrap_store:(Fbchunk.Chunk_store.t -> Fbchunk.Chunk_store.t) ->
+  ?recovery_check:(Forkbase.Db.t -> unit) ->
   string ->
   t
 (** [open_db dir] opens (creating if needed) the durable database in
@@ -48,6 +50,15 @@ val open_db :
     power loss when it returns; raise it to trade durability lag for
     throughput — entries are still flushed to the OS per operation, so a
     process crash loses nothing either way).
+
+    [wrap_store] wraps the database's view of the chunk store (between the
+    connector and the redirectable log store, so online compaction keeps
+    working underneath) — the hook the fault-injection layer
+    ({!Fbcheck.Failpoint}) uses to schedule faults against a live durable
+    db.  [recovery_check] runs after journal replay and head validation,
+    before the first new operation can be journaled; pass e.g. a
+    {!Fbcheck.Fsck} invocation for an optional deep post-recovery verify
+    (raise to refuse the store; the files are closed first).
 
     @raise Corrupt_db when the journal is malformed or a recovered head
     does not resolve in the chunk store. *)
@@ -80,3 +91,11 @@ val chunk_log_size : t -> int
 
 val close : t -> unit
 (** Syncs both files and closes them. *)
+
+val crash : t -> unit
+(** Abandon the database as a SIGKILL at an operation boundary would: the
+    files are released without the close-time fsync, checkpoint, or any
+    other graceful-shutdown work.  Every acknowledged operation is already
+    flushed, so {!open_db} on the same directory recovers exactly the acked
+    state — the deterministic, in-process replacement for the old
+    fork+SIGKILL crash harness. *)

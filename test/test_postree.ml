@@ -335,6 +335,50 @@ let prop_set_sorted_many =
       let sequential = List.fold_left M.set_sorted m0 ups in
       M.equal batched sequential)
 
+(* Degenerate chunking configurations: the tree must stay correct — and
+   keep history independence — when the leaf target is smaller than one
+   element, when everything fits a single leaf, and when it is empty. *)
+let test_tiny_leaf_target () =
+  let store = Store.mem_store () in
+  let tiny = Fbtree.Tree_config.with_leaf_bits 4 in
+  (* every element alone exceeds the leaf budget *)
+  let elems = List.init 60 (fun i -> Printf.sprintf "%06d-%s" i (String.make 80 'x')) in
+  let t = T.of_list store tiny elems in
+  Alcotest.(check (list string)) "round-trip" elems (T.to_list t);
+  Alcotest.(check bool) "still splits into many leaves" true
+    (Array.length (T.leaf_cids t) >= 30);
+  (* splice-built and bulk-built trees still converge *)
+  let left, right = (mk_elems 0, elems) in
+  let grown = T.splice (T.of_list store tiny left) ~pos:0 ~del:0 ~ins:right in
+  Alcotest.(check bool) "history independence" true
+    (Cid.equal (T.root grown) (T.root t));
+  let edited = T.splice t ~pos:30 ~del:1 ~ins:[ "short" ] in
+  Alcotest.(check string) "edit lands" "short" (T.get edited 30);
+  Alcotest.(check bool) "reload equals" true
+    (T.equal edited (T.of_root store tiny (T.root edited)))
+
+let test_single_leaf () =
+  let store = Store.mem_store () in
+  let elems = mk_elems 3 in
+  let t = T.of_list store cfg_default elems in
+  Alcotest.(check int) "height 1" 1 (T.height t);
+  Alcotest.(check int) "one chunk" 1 (T.chunk_count t);
+  Alcotest.(check (list string)) "content" elems
+    (T.to_list (T.of_root store cfg_default (T.root t)));
+  Alcotest.(check bool) "verifies" true (T.verify t)
+
+let test_empty_tree_roundtrip () =
+  let store = Store.mem_store () in
+  let t = T.of_list store cfg [] in
+  Alcotest.(check bool) "empty = empty" true (T.equal t (T.empty store cfg));
+  let t' = T.of_root store cfg (T.root t) in
+  Alcotest.(check int) "reload empty" 0 (T.length t');
+  let grown = T.splice t' ~pos:0 ~del:0 ~ins:[ "a" ] in
+  Alcotest.(check (list string)) "grow from reloaded empty" [ "a" ]
+    (T.to_list grown);
+  Alcotest.(check bool) "shrink back to empty" true
+    (T.equal t (T.splice grown ~pos:0 ~del:1 ~ins:[]))
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "postree"
@@ -352,6 +396,13 @@ let () =
           Alcotest.test_case "repeated content" `Quick test_repeated_content;
           Alcotest.test_case "verify" `Quick test_verify_missing;
           Alcotest.test_case "diff region" `Quick test_diff_region;
+        ] );
+      ( "degenerate",
+        [
+          Alcotest.test_case "leaf target smaller than one element" `Quick
+            test_tiny_leaf_target;
+          Alcotest.test_case "single leaf" `Quick test_single_leaf;
+          Alcotest.test_case "empty tree" `Quick test_empty_tree_roundtrip;
         ] );
       ( "properties",
         [

@@ -207,6 +207,84 @@ let test_set_diff () =
   | [ `Left "a"; `Right "d" ] -> ()
   | _ -> Alcotest.fail "unexpected set diff"
 
+(* --- iterator order stability ---
+   Sorted containers promise key order from every traversal entry point,
+   independent of insertion order, edits, or node boundaries (the 180
+   elements below span several leaves under this config). *)
+
+let shuffled n =
+  let rng = Fbutil.Splitmix.create 0x0DDE4L in
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Fbutil.Splitmix.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+let test_map_iter_order () =
+  let store = fresh () in
+  let n = 180 in
+  let m =
+    List.fold_left
+      (fun m i -> Fmap.set m (Printf.sprintf "k%04d" i) (string_of_int i))
+      (Fmap.empty store cfg) (shuffled n)
+  in
+  let expected = List.init n (fun i -> (Printf.sprintf "k%04d" i, string_of_int i)) in
+  Alcotest.(check (list (pair string string))) "bindings sorted" expected
+    (Fmap.bindings m);
+  Alcotest.(check (list (pair string string))) "to_seq = bindings" expected
+    (List.of_seq (Fmap.to_seq m));
+  Alcotest.(check (list (pair string string)))
+    "fold visits in key order" expected
+    (List.rev (Fmap.fold (fun acc k v -> (k, v) :: acc) [] m));
+  let expect_from k = List.filter (fun (k', _) -> k' >= k) expected in
+  List.iter
+    (fun k ->
+      Alcotest.(check (list (pair string string)))
+        ("to_seq_from " ^ k) (expect_from k)
+        (List.of_seq (Fmap.to_seq_from m k)))
+    [ "k0000"; "k0091"; "k0091a" (* between keys *); "k0179"; "zzz" ];
+  (* edits must not disturb the order of untouched bindings *)
+  let m = Fmap.remove (Fmap.set m "k0090" "changed") "k0091" in
+  let expected =
+    List.filter_map
+      (fun (k, v) ->
+        if k = "k0091" then None
+        else if k = "k0090" then Some (k, "changed")
+        else Some (k, v))
+      expected
+  in
+  Alcotest.(check (list (pair string string))) "order stable after edits"
+    expected (Fmap.bindings m)
+
+let test_set_iter_order () =
+  let store = fresh () in
+  let n = 180 in
+  let s =
+    List.fold_left
+      (fun s i -> Fset.add s (Printf.sprintf "e%04d" i))
+      (Fset.empty store cfg) (shuffled n)
+  in
+  let expected = List.init n (Printf.sprintf "e%04d") in
+  Alcotest.(check (list string)) "elements sorted" expected (Fset.elements s);
+  Alcotest.(check (list string)) "to_seq = elements" expected
+    (List.of_seq (Fset.to_seq s));
+  List.iter
+    (fun k ->
+      Alcotest.(check (list string))
+        ("to_seq_from " ^ k)
+        (List.filter (fun e -> e >= k) expected)
+        (List.of_seq (Fset.to_seq_from s k)))
+    [ "e0000"; "e0101"; "e0101a"; "e0179"; "zzz" ];
+  (* insertion order must not matter: same elements, same traversal *)
+  let s2 = Fset.create store cfg expected in
+  Alcotest.(check bool) "root independent of insertion order" true
+    (Fbchunk.Cid.equal (Fset.root s) (Fset.root s2));
+  Alcotest.(check (list string)) "rebuilt traversal identical" expected
+    (List.of_seq (Fset.to_seq s2))
+
 (* --- value payload round-trip --- *)
 
 let test_value_roundtrip () =
@@ -264,11 +342,15 @@ let () =
           Alcotest.test_case "diff" `Quick test_map_diff;
           Alcotest.test_case "insertion-order independence" `Quick
             test_map_equal_independent_of_insertion_order;
+          Alcotest.test_case "iterator order stability" `Quick
+            test_map_iter_order;
         ] );
       ( "set",
         [
           Alcotest.test_case "operations" `Quick test_set_ops;
           Alcotest.test_case "diff" `Quick test_set_diff;
+          Alcotest.test_case "iterator order stability" `Quick
+            test_set_iter_order;
         ] );
       ( "value",
         [
