@@ -25,6 +25,7 @@ let experiments : (string * string * (Bench_util.scale -> unit)) list =
     ("ablation-delta", "POS-Tree vs delta chains", Bench_ablation.ablation_delta);
     ("durability", "journaled puts, recovery, compaction", Bench_persist.durability);
     ("remote", "multi-client serving throughput", Bench_remote.remote);
+    ("replica", "follower catch-up + read scaling", Bench_replica.replica);
   ]
 
 let run_ids scale ids =

@@ -13,7 +13,11 @@
      forkbase verify <key> [--branch b]
      forkbase fsck
      forkbase stats
-     forkbase checkpoint *)
+     forkbase checkpoint
+     forkbase gc [--dry-run]
+     forkbase serve [--port p]
+     forkbase follow --of HOST:PORT [--port p]
+     forkbase replication-status [--of HOST:PORT] [--port p] *)
 
 module Db = Forkbase.Db
 module Persist = Fbpersist.Persist
@@ -212,6 +216,7 @@ let serve_cmd =
     let k =
       Fbremote.Server.serve ~config
         ~checkpoint:(fun () -> Persist.compact p)
+        ~journal:(Fbreplica.Replica.journal_hooks p)
         (Persist.db p) listen_fd
     in
     Printf.printf "server stopped.\n";
@@ -261,10 +266,12 @@ let stats_cmd =
         let s = Fbremote.Client.stats c in
         Printf.printf
           "chunks=%d bytes=%d puts=%d dedup=%d gets=%d misses=%d\n\
-           keys=%d branches=%d\n"
+           keys=%d branches=%d\n\
+           journal: seq=%d bytes=%d\n"
           s.Fbremote.Wire.chunks s.Fbremote.Wire.bytes s.Fbremote.Wire.puts
           s.Fbremote.Wire.dedup_hits s.Fbremote.Wire.gets
-          s.Fbremote.Wire.misses s.Fbremote.Wire.keys s.Fbremote.Wire.branches;
+          s.Fbremote.Wire.misses s.Fbremote.Wire.keys s.Fbremote.Wire.branches
+          s.Fbremote.Wire.journal_seq s.Fbremote.Wire.journal_bytes;
         print_conn_counters ~accepted:s.Fbremote.Wire.accepted
           ~active:s.Fbremote.Wire.active ~closed_ok:s.Fbremote.Wire.closed_ok
           ~closed_err:s.Fbremote.Wire.closed_err
@@ -280,7 +287,8 @@ let stats_cmd =
         Format.printf "garbage: %d chunks, %d bytes (run 'forkbase checkpoint')@."
           garbage_chunks garbage_bytes;
         Format.printf "files: chunk log %d bytes, branch journal %d bytes@."
-          (Persist.chunk_log_size p) (Persist.journal_size p)
+          (Persist.chunk_log_size p) (Persist.journal_size p);
+        Format.printf "journal seq: %d@." (Persist.journal_seq p)
   in
   let port_arg =
     Arg.(
@@ -292,6 +300,150 @@ let stats_cmd =
                 store files.")
   in
   Cmd.v (Cmd.info "stats" ~doc:"chunk store statistics") Term.(const run $ port_arg)
+
+let gc_cmd =
+  let run dry_run =
+    with_store @@ fun p ->
+    if dry_run then begin
+      let chunks, bytes = Persist.garbage_stats p in
+      Printf.printf "would reclaim %d chunks (%d bytes)\n" chunks bytes
+    end
+    else begin
+      let chunks, bytes = Persist.compact p in
+      Printf.printf "reclaimed %d chunks (%d bytes)\n" chunks bytes
+    end
+  in
+  let dry_run_flag =
+    Arg.(
+      value & flag
+      & info [ "n"; "dry-run" ]
+          ~doc:"Only measure what a sweep would reclaim; change nothing.")
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "garbage-collect the chunk log: sweep every chunk reachable from \
+          a branch head into a fresh log, atomically swap it in, and \
+          report what was reclaimed")
+    Term.(const run $ dry_run_flag)
+
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some port when host <> "" -> (host, port)
+      | _ ->
+          Printf.eprintf "error: expected HOST:PORT, got %S\n" s;
+          exit 2)
+  | None ->
+      Printf.eprintf "error: expected HOST:PORT, got %S\n" s;
+      exit 2
+
+let of_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "of" ] ~docv:"HOST:PORT" ~doc:"The primary to replicate from.")
+
+let follow_cmd =
+  let run primary port max_conns idle_timeout max_frame_bytes =
+    let host, primary_port = parse_host_port primary in
+    let f =
+      Fbreplica.Replica.open_follower ~dir:(data_dir ()) ~host
+        ~port:primary_port ()
+    in
+    Fun.protect ~finally:(fun () -> Fbreplica.Replica.close f) @@ fun () ->
+    let listen_fd = Fbremote.Server.listen ~port () in
+    Printf.printf
+      "forkbase follower listening on 127.0.0.1:%d (data in %s), \
+       replicating from %s:%d\n\
+       %!"
+      (Fbremote.Server.bound_port listen_fd)
+      (data_dir ()) host primary_port;
+    let config =
+      { Fbremote.Server.default_config with max_conns; idle_timeout; max_frame_bytes }
+    in
+    let k = Fbreplica.Replica.serve ~config f listen_fd in
+    let c = Fbreplica.Replica.counters f in
+    Printf.printf
+      "follower stopped at seq %d (lag %d): %d pulls, %d entries applied, \
+       %d chunks fetched\n"
+      (Fbreplica.Replica.seq f) (Fbreplica.Replica.lag f)
+      c.Fbreplica.Replica.pulls c.Fbreplica.Replica.entries_applied
+      c.Fbreplica.Replica.chunks_fetched;
+    print_conn_counters ~accepted:k.Fbremote.Server.accepted ~active:k.active
+      ~closed_ok:k.closed_ok ~closed_err:k.closed_err ~frames_in:k.frames_in
+      ~frames_out:k.frames_out ~timeouts:k.timeouts
+  in
+  let port_arg =
+    Arg.(value & opt int 7879 & info [ "p"; "port" ] ~docv:"PORT")
+  in
+  let max_conns_arg =
+    Arg.(
+      value
+      & opt int Fbremote.Server.default_config.Fbremote.Server.max_conns
+      & info [ "max-conns" ] ~docv:"N")
+  in
+  let idle_timeout_arg =
+    Arg.(value & opt float 0. & info [ "idle-timeout" ] ~docv:"SECONDS")
+  in
+  let max_frame_bytes_arg =
+    Arg.(
+      value
+      & opt int Fbremote.Wire.default_max_frame_bytes
+      & info [ "max-frame-bytes" ] ~docv:"BYTES")
+  in
+  Cmd.v
+    (Cmd.info "follow"
+       ~doc:
+         "run a read-only follower of a primary server: tail its journal \
+          into this store, serve reads, redirect writes (stops on a Quit \
+          request; this store is then promotable with 'forkbase serve')")
+    Term.(const run $ of_arg $ port_arg $ max_conns_arg $ idle_timeout_arg
+          $ max_frame_bytes_arg)
+
+let replication_status_cmd =
+  let run primary port =
+    let local_seq =
+      match port with
+      | Some port ->
+          let c = Fbremote.Client.connect ~port () in
+          Fun.protect ~finally:(fun () -> Fbremote.Client.close c)
+          @@ fun () -> (Fbremote.Client.stats c).Fbremote.Wire.journal_seq
+      | None -> with_store (fun p -> Persist.journal_seq p)
+    in
+    Printf.printf "local:   seq %d\n" local_seq;
+    match primary with
+    | None -> ()
+    | Some primary ->
+        let host, pport = parse_host_port primary in
+        let c = Fbremote.Client.connect ~host ~port:pport () in
+        Fun.protect ~finally:(fun () -> Fbremote.Client.close c) @@ fun () ->
+        let seq = (Fbremote.Client.stats c).Fbremote.Wire.journal_seq in
+        Printf.printf "primary: seq %d\nlag:     %d\n" seq
+          (max 0 (seq - local_seq))
+  in
+  let of_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "of" ] ~docv:"HOST:PORT"
+          ~doc:"Also query the primary and print the replication lag.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"Read the local sequence from a running server on \
+                127.0.0.1:$(docv) instead of opening the store files.")
+  in
+  Cmd.v
+    (Cmd.info "replication-status"
+       ~doc:"show the local journal sequence and the lag behind a primary")
+    Term.(const run $ of_opt_arg $ port_arg)
 
 let checkpoint_cmd =
   let run () =
@@ -313,5 +465,5 @@ let () =
           [
             put_cmd; get_cmd; fork_cmd; branches_cmd; log_cmd; merge_cmd;
             keys_cmd; verify_cmd; fsck_cmd; stats_cmd; checkpoint_cmd;
-            serve_cmd;
+            gc_cmd; serve_cmd; follow_cmd; replication_status_cmd;
           ]))

@@ -95,19 +95,24 @@ let decode_record r =
   | 'C' -> Checkpoint (Codec.read_list r dec_snapshot)
   | c -> raise (Codec.Corrupt (Printf.sprintf "journal: bad record tag %C" c))
 
-let encode_entry records =
+(* Entry body: the writer-assigned sequence number, then the records.
+   Shipping this exact encoding over the wire keeps primary and follower
+   journal files byte-identical for shared entries. *)
+let encode_entry ~seq records =
   let buf = Buffer.create 256 in
+  Codec.varint buf seq;
   Codec.list buf encode_record records;
   Buffer.contents buf
 
 let decode_entry s =
   let r = Codec.reader s in
+  let seq = Codec.read_varint r in
   let records = Codec.read_list r decode_record in
   Codec.expect_end r;
-  records
+  (seq, records)
 
-let frame records =
-  let body = encode_entry records in
+let frame ~seq records =
+  let body = encode_entry ~seq records in
   let buf = Buffer.create (String.length body + 4) in
   Codec.varint buf (String.length body);
   Buffer.add_string buf body;
@@ -162,8 +167,20 @@ let open_ path =
   let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
   ({ file = path; oc }, entries)
 
-let append t records =
-  output_string t.oc (frame records);
+(* Read-only tail scan for replication pulls: committed entries after
+   [from_seq], leaving any torn tail alone (only [open_] truncates). *)
+let entries_from path ~from_seq ~max_entries =
+  let entries, _tail = scan path in
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | (seq, _) :: rest when seq <= from_seq -> take n rest
+    | e :: rest -> e :: take (n - 1) rest
+  in
+  take max_entries entries
+
+let append t ~seq records =
+  output_string t.oc (frame ~seq records);
   (* One flush per entry: the whole batch reaches the OS (or none of it,
      modulo a torn tail) before the operation is acknowledged. *)
   Stdlib.flush t.oc
@@ -192,7 +209,7 @@ let write_fresh path entries =
   let oc =
     open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path
   in
-  List.iter (fun records -> output_string oc (frame records)) entries;
+  List.iter (fun (seq, records) -> output_string oc (frame ~seq records)) entries;
   Stdlib.flush oc;
   Unix.fsync (Unix.descr_of_out_channel oc);
   close_out oc

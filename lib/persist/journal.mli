@@ -4,7 +4,16 @@
     of branch-table records produced by one logical database operation and
     is committed atomically: a crash can only tear the final entry, which
     {!open_} drops, recovering exactly the committed prefix (the same
-    torn-tail tolerance as {!Fbchunk.Log_store}). *)
+    torn-tail tolerance as {!Fbchunk.Log_store}).
+
+    Every entry carries a monotonically increasing {e sequence number}
+    assigned by the writer.  The sequence survives checkpoint rotation
+    (the snapshot entry is stamped with the sequence of the last operation
+    it covers), which makes the journal a replicable operation log: a
+    replica that remembers the last sequence it applied can ask for
+    "everything after [seq]" and receive either the missing mutations or,
+    when they were compacted away, a checkpoint snapshot that supersedes
+    them (lib/replica). *)
 
 type record =
   | Mutation of Forkbase.Db.mutation
@@ -14,14 +23,16 @@ type record =
 
 type t
 
-val open_ : string -> t * record list list
+val open_ : string -> t * (int * record list) list
 (** [open_ path] creates or re-opens the journal, returning the committed
-    entries in append order.  A torn final entry is truncated away.
+    [(seq, records)] entries in append order.  A torn final entry is
+    truncated away.
     @raise Fbutil.Codec.Corrupt on a malformed committed entry. *)
 
-val append : t -> record list -> unit
-(** Append one entry (one operation's records) and flush it to the OS.
-    Durability against power loss additionally requires {!sync}. *)
+val append : t -> seq:int -> record list -> unit
+(** Append one entry (one operation's records, stamped [seq]) and flush it
+    to the OS.  Durability against power loss additionally requires
+    {!sync}. *)
 
 val sync : t -> unit
 (** Flush and [fsync]. *)
@@ -36,8 +47,32 @@ val crash : t -> unit
 val path : t -> string
 val file_size : t -> int
 
-val write_fresh : string -> record list list -> unit
+val write_fresh : string -> (int * record list) list -> unit
 (** [write_fresh path entries] writes a brand-new fsynced journal at
     [path] (truncating any existing file).  Checkpoint rotation writes the
     replacement journal with this and atomically renames it over the live
     one. *)
+
+(** {1 Replication support}
+
+    Entries travel over the wire in their on-disk body encoding (sequence
+    number plus records), so primary and follower journals are
+    byte-identical for the entries they share. *)
+
+val encode_entry : seq:int -> record list -> string
+(** The entry body exactly as {!append} frames it (without the length
+    prefix) — what {!Fbremote.Wire} ships in a journal batch. *)
+
+val decode_entry : string -> int * record list
+(** Inverse of {!encode_entry}.
+    @raise Fbutil.Codec.Corrupt on malformed input. *)
+
+val entries_from : string -> from_seq:int -> max_entries:int ->
+  (int * record list) list
+(** Scan the journal file at [path] and return up to [max_entries]
+    committed entries with sequence numbers strictly greater than
+    [from_seq], in append order.  A torn tail is ignored (not truncated).
+    The primary answers [Pull_journal] with this: a follower whose
+    position was compacted away receives the checkpoint snapshot entry
+    (stamped with a newer sequence) first and bootstraps from it.
+    @raise Fbutil.Codec.Corrupt on a malformed committed entry. *)

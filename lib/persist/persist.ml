@@ -47,6 +47,7 @@ type t = {
   chunk_sync_every : int;
   journal_sync_every : int;
   mutable unsynced_ops : int;
+  mutable seq : int;  (* sequence of the last committed journal entry *)
 }
 
 let chunk_file dir = Filename.concat dir "chunks.log"
@@ -65,7 +66,9 @@ let on_mutation t muts =
   (* Chunk bytes referenced by these records must reach the OS before the
      journal entry does. *)
   Log_store.flush t.log;
-  Journal.append t.journal (List.map (fun m -> Journal.Mutation m) muts);
+  t.seq <- t.seq + 1;
+  Journal.append t.journal ~seq:t.seq
+    (List.map (fun m -> Journal.Mutation m) muts);
   t.unsynced_ops <- t.unsynced_ops + 1;
   if t.journal_sync_every > 0 && t.unsynced_ops >= t.journal_sync_every then
     sync t
@@ -87,12 +90,14 @@ let validate_heads db =
         (Db.list_untagged_branches db ~key))
     (Db.list_keys db)
 
-let replay db entries =
+let replay_records db records =
   List.iter
-    (List.iter (function
+    (function
       | Journal.Checkpoint snaps -> Db.import_tables db snaps
-      | Journal.Mutation m -> Db.apply_mutation db m))
-    entries
+      | Journal.Mutation m -> Db.apply_mutation db m)
+    records
+
+let replay db entries = List.iter (fun (_, records) -> replay_records db records) entries
 
 let open_db ?cfg ?acl ?(sync_every = 512) ?(journal_sync_every = 1) ?wrap_store
     ?recovery_check dir =
@@ -143,6 +148,9 @@ let open_db ?cfg ?acl ?(sync_every = 512) ?(journal_sync_every = 1) ?wrap_store
       chunk_sync_every = sync_every;
       journal_sync_every;
       unsynced_ops = 0;
+      (* sequences are assigned monotonically, so the last entry holds the
+         store's current sequence *)
+      seq = (match List.rev entries with (s, _) :: _ -> s | [] -> 0);
     }
   in
   Db.set_on_mutation db (fun muts -> on_mutation t muts);
@@ -155,7 +163,10 @@ let checkpoint t =
   let snaps = Db.export_tables t.db in
   Log_store.sync t.log;
   let tmp = journal_file t.dir ^ tmp_suffix in
-  Journal.write_fresh tmp [ [ Journal.Checkpoint snaps ] ];
+  (* The snapshot is stamped with the sequence of the last operation it
+     covers, so the sequence counter survives rotation and a replication
+     pull from an older position receives this entry first. *)
+  Journal.write_fresh tmp [ (t.seq, [ Journal.Checkpoint snaps ]) ];
   Journal.close t.journal;
   Unix.rename tmp (journal_file t.dir);
   let journal, _ = Journal.open_ (journal_file t.dir) in
@@ -187,6 +198,37 @@ let compact t =
 
 let journal_size t = Journal.file_size t.journal
 let chunk_log_size t = Log_store.file_size t.log
+let journal_seq t = t.seq
+
+(* Serve a replication pull from the on-disk journal.  [Journal.append]
+   flushes per entry, so a read-only scan of the live file sees every
+   committed entry; the journal is checkpoint-bounded, so the scan is
+   O(live state + recent tail), not O(history). *)
+let pull_entries t ~from_seq ~max_entries =
+  Journal.entries_from (Journal.path t.journal) ~from_seq ~max_entries
+
+(* Apply one shipped entry: journal first (chunks flushed ahead of it, the
+   same write-path ordering as [on_mutation]), then replay the records into
+   the in-memory tables.  [Db.apply_mutation] / [Db.import_tables] do not
+   fire the mutation hook, so nothing is double-journaled. *)
+let apply_replicated t ~seq records =
+  if seq > t.seq then begin
+    let is_snapshot =
+      List.exists (function Journal.Checkpoint _ -> true | _ -> false) records
+    in
+    if (not is_snapshot) && seq <> t.seq + 1 then
+      invalid_arg
+        (Printf.sprintf
+           "Persist.apply_replicated: mutation entry %d does not follow %d"
+           seq t.seq);
+    Log_store.flush t.log;
+    Journal.append t.journal ~seq records;
+    replay_records t.db records;
+    t.seq <- seq;
+    t.unsynced_ops <- t.unsynced_ops + 1;
+    if t.journal_sync_every > 0 && t.unsynced_ops >= t.journal_sync_every then
+      sync t
+  end
 
 let close t =
   sync t;

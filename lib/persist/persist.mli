@@ -89,6 +89,42 @@ val garbage_stats : t -> int * int
 val journal_size : t -> int
 val chunk_log_size : t -> int
 
+(** {1 Replication (lib/replica)}
+
+    The branch journal doubles as a replicable operation log: every
+    committed entry carries a monotonically increasing sequence number, a
+    primary serves its tail to followers, and a follower applies shipped
+    entries to its own durable store — journaling them locally under the
+    same sequence numbers, so it is itself crash-recoverable and
+    promotable. *)
+
+val journal_seq : t -> int
+(** Sequence number of the last committed journal entry ([0] for a fresh
+    store).  Recovered from the journal on open; replication lag between
+    two stores is the difference of their sequences. *)
+
+val pull_entries :
+  t -> from_seq:int -> max_entries:int -> (int * Journal.record list) list
+(** Committed journal entries with sequence strictly greater than
+    [from_seq], at most [max_entries], in append order.  After a
+    checkpoint rotated the journal, a [from_seq] older than the rotation
+    yields the checkpoint snapshot entry first — the follower's bootstrap
+    path. *)
+
+val apply_replicated : t -> seq:int -> Journal.record list -> unit
+(** Apply one replicated journal entry to this store: journal it locally
+    under [seq], then replay its records into the branch tables (without
+    re-executing the originating operation or re-firing the journal
+    hook).  Every chunk the records reference must already be in this
+    store's chunk store — the caller backfills missing chunks first
+    ({!Fbremote.Wire} [Fetch_chunks]).  Entries at or below
+    {!journal_seq} are ignored (duplicate delivery after a reconnect).
+    A mutation entry must arrive gaplessly at [journal_seq + 1]
+    ([Invalid_argument] otherwise); a checkpoint-snapshot entry may jump
+    to any higher sequence — it supersedes everything before it, which is
+    exactly how a follower whose position was compacted away
+    re-bootstraps. *)
+
 val close : t -> unit
 (** Syncs both files and closes them. *)
 

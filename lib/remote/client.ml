@@ -1,13 +1,26 @@
 type t = { fd : Unix.file_descr }
 
+exception Redirected of string * int
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+      | _ | (exception Not_found) ->
+          failwith (Printf.sprintf "forkbase client: unknown host %S" host))
+
 (* Transient refusals happen routinely when a client races server startup;
    retry with bounded exponential backoff (capped both in attempts and in
    per-wait duration) before giving up. *)
-let connect ?(retries = 0) ?(backoff = 0.02) ?(max_backoff = 1.0) ~port () =
+let connect ?(host = "127.0.0.1") ?(retries = 0) ?(backoff = 0.02)
+    ?(max_backoff = 1.0) ~port () =
   Wire.ignore_sigpipe ();
+  let addr = resolve host in
   let rec attempt left delay =
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+    match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
     | () -> { fd }
     | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) when left > 0 ->
         Unix.close fd;
@@ -32,6 +45,7 @@ let call t req =
 
 let expect_ok name = function
   | Wire.Error msg -> failwith (name ^ ": " ^ msg)
+  | Wire.Redirect { host; port } -> raise (Redirected (host, port))
   | resp -> resp
 
 let put ?(branch = "master") ?(context = "") t ~key value =
@@ -64,6 +78,11 @@ let list_keys t =
   | Wire.Keys ks -> ks
   | _ -> failwith "list_keys: unexpected response"
 
+let list_branches t ~key =
+  match expect_ok "list_branches" (call t (Wire.List_branches { key })) with
+  | Wire.Branches bs -> bs
+  | _ -> failwith "list_branches: unexpected response"
+
 let verify t uid =
   match expect_ok "verify" (call t (Wire.Verify { uid })) with
   | Wire.Bool b -> b
@@ -78,6 +97,16 @@ let checkpoint t =
   match expect_ok "checkpoint" (call t Wire.Checkpoint) with
   | Wire.Reclaimed { chunks; bytes } -> (chunks, bytes)
   | _ -> failwith "checkpoint: unexpected response"
+
+let pull_journal t ~from_seq =
+  match expect_ok "pull_journal" (call t (Wire.Pull_journal { from_seq })) with
+  | Wire.Journal_batch { primary_seq; entries } -> (primary_seq, entries)
+  | _ -> failwith "pull_journal: unexpected response"
+
+let fetch_chunks t cids =
+  match expect_ok "fetch_chunks" (call t (Wire.Fetch_chunks { cids })) with
+  | Wire.Chunks chunks -> chunks
+  | _ -> failwith "fetch_chunks: unexpected response"
 
 let quit_server t =
   match call t Wire.Quit with

@@ -2,12 +2,19 @@
 
 type t
 
+exception Redirected of string * int
+(** Raised by the typed conveniences when a read-only follower answers a
+    write request with {!Wire.Redirect}: retry against the primary at
+    [(host, port)]. *)
+
 val connect :
+  ?host:string ->
   ?retries:int -> ?backoff:float -> ?max_backoff:float -> port:int -> unit -> t
-(** Connect to a {!Server} on 127.0.0.1.  A transient [ECONNREFUSED]
-    (typically a race against server startup) is retried up to [retries]
-    times (default 0), sleeping [backoff] seconds (default 0.02) doubled
-    after every attempt and capped at [max_backoff] (default 1.0). *)
+(** Connect to a {!Server} at [host] (default 127.0.0.1; a dotted quad or
+    a resolvable name).  A transient [ECONNREFUSED] (typically a race
+    against server startup) is retried up to [retries] times (default 0),
+    sleeping [backoff] seconds (default 0.02) doubled after every attempt
+    and capped at [max_backoff] (default 1.0). *)
 
 val close : t -> unit
 val call : t -> Wire.request -> Wire.response
@@ -30,6 +37,7 @@ val merge :
 val track : ?branch:string -> t -> key:string -> lo:int -> hi:int ->
   (int * Fbchunk.Cid.t) list
 val list_keys : t -> string list
+val list_branches : t -> key:string -> (string * Fbchunk.Cid.t) list
 val verify : t -> Fbchunk.Cid.t -> bool
 
 val stats : t -> Wire.stats
@@ -37,5 +45,14 @@ val stats : t -> Wire.stats
 val checkpoint : t -> int * int
 (** Ask a durable server to checkpoint + compact; reclaimed
     (chunks, bytes). *)
+
+val pull_journal : t -> from_seq:int -> int * string list
+(** Replication pull: [(primary_seq, entries)] where [entries] are encoded
+    journal entries with sequence > [from_seq] (see
+    {!Wire.response.Journal_batch}). *)
+
+val fetch_chunks : t -> Fbchunk.Cid.t list -> string list
+(** Replication backfill: the encoded chunks for the requested cids that
+    the server holds (absent cids are silently omitted). *)
 
 val quit_server : t -> unit

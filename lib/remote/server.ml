@@ -56,6 +56,8 @@ let stats_of_db db =
       List.fold_left
         (fun n key -> n + List.length (Db.list_tagged_branches db ~key))
         0 keys;
+    journal_seq = 0;
+    journal_bytes = 0;
     accepted = 0;
     active = 0;
     closed_ok = 0;
@@ -65,20 +67,44 @@ let stats_of_db db =
     timeouts = 0;
   }
 
+(* Journal access for replication, provided when the db is backed by a
+   journaled durable store (lib/persist; constructed by
+   Fbreplica.Replica.journal_hooks). *)
+type journal_hooks = {
+  j_seq : unit -> int;
+  j_bytes : unit -> int;
+  j_pull : from_seq:int -> string list;
+      (* encoded entries after from_seq, batch-bounded by the provider *)
+}
+
+let max_fetch_chunks = 512
+
 (* [checkpoint] is provided when the db is backed by a durable store
    (lib/persist): it runs checkpoint + compaction and returns the
-   reclaimed (chunks, bytes). *)
-let handle ?checkpoint db (req : Wire.request) : Wire.response =
+   reclaimed (chunks, bytes).  [journal] makes the server a replication
+   source (Pull_journal).  [redirect] puts the server in follower mode:
+   write requests are answered with the primary's address instead of
+   executing. *)
+let handle ?checkpoint ?journal ?redirect db (req : Wire.request) :
+    Wire.response =
+  let write k =
+    match redirect with
+    | Some (host, port) -> Wire.Redirect { host; port }
+    | None -> k ()
+  in
   match req with
   | Wire.Put { key; branch; context; value } ->
+      write @@ fun () ->
       Wire.Uid (Db.put ~branch ~context db ~key (of_wire_value db value))
   | Wire.Get { key; branch } ->
       of_db_result (fun v -> Wire.Value (to_wire_value v)) (Db.get ~branch db ~key)
   | Wire.Get_version { uid } ->
       of_db_result (fun v -> Wire.Value (to_wire_value v)) (Db.get_version db uid)
   | Wire.Fork { key; from_branch; new_branch } ->
+      write @@ fun () ->
       of_db_result (fun () -> Wire.Ok_unit) (Db.fork db ~key ~from_branch ~new_branch)
   | Wire.Merge { key; target; ref_branch; resolver } -> (
+      write @@ fun () ->
       match resolver_of_string resolver with
       | Error msg -> Wire.Error msg
       | Ok resolver ->
@@ -92,13 +118,42 @@ let handle ?checkpoint db (req : Wire.request) : Wire.response =
   | Wire.List_keys -> Wire.Keys (Db.list_keys db)
   | Wire.List_branches { key } -> Wire.Branches (Db.list_tagged_branches db ~key)
   | Wire.Verify { uid } -> Wire.Bool (Db.verify_version db uid)
-  | Wire.Stats -> Wire.Stats_r (stats_of_db db)
+  | Wire.Stats ->
+      let s = stats_of_db db in
+      Wire.Stats_r
+        (match journal with
+        | None -> s
+        | Some j ->
+            { s with Wire.journal_seq = j.j_seq (); journal_bytes = j.j_bytes () })
   | Wire.Checkpoint -> (
+      write @@ fun () ->
       match checkpoint with
       | None -> Wire.Error "checkpoint: server store is not durable"
       | Some run ->
           let chunks, bytes = run () in
           Wire.Reclaimed { chunks; bytes })
+  | Wire.Pull_journal { from_seq } -> (
+      match journal with
+      | None -> Wire.Error "pull_journal: server store is not journaled"
+      | Some j ->
+          Wire.Journal_batch
+            { primary_seq = j.j_seq (); entries = j.j_pull ~from_seq })
+  | Wire.Fetch_chunks { cids } ->
+      (* Answer with what the store holds; absent cids are silently
+         omitted (they may have been compacted away — the puller re-pulls
+         and bootstraps from the checkpoint instead).  The request size is
+         capped to keep the response under the frame limit. *)
+      if List.length cids > max_fetch_chunks then
+        Wire.Error
+          (Printf.sprintf "fetch_chunks: at most %d cids per request"
+             max_fetch_chunks)
+      else
+        let store = Db.store db in
+        Wire.Chunks
+          (List.filter_map
+             (fun cid ->
+               Option.map Fbchunk.Chunk.encode (store.Fbchunk.Chunk_store.get cid))
+             cids)
   | Wire.Quit -> Wire.Ok_unit
 
 (* --- the event loop --- *)
@@ -165,9 +220,16 @@ let drain c reason =
   c.draining <- true;
   c.drain_reason <- reason
 
-let serve ?checkpoint ?(config = default_config) db listen_fd =
+let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
+    ?(config = default_config) db listen_fd =
   Wire.ignore_sigpipe ();
   Unix.set_nonblock listen_fd;
+  (* Periodic work multiplexed into the event loop (a follower's
+     replication sync step runs here, between request rounds, so reads
+     never observe a half-applied journal entry). *)
+  let next_tick =
+    ref (match tick with None -> infinity | Some _ -> Unix.gettimeofday ())
+  in
   let k = fresh_counters () in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let shutting_down = ref false in
@@ -241,7 +303,7 @@ let serve ?checkpoint ?(config = default_config) db listen_fd =
                    begin_shutdown ();
                    Wire.Ok_unit
                | req -> (
-                   try with_counters (handle ?checkpoint db req)
+                   try with_counters (handle ?checkpoint ?journal ?redirect db req)
                    with e -> Wire.Error (Printexc.to_string e))
              in
              enqueue_response c response
@@ -364,7 +426,10 @@ let serve ?checkpoint ?(config = default_config) db listen_fd =
             conns infinity
       in
       let drain = if !shutting_down then !shutdown_deadline -. now else infinity in
-      match Float.min idle drain with
+      let tick_in =
+        if !shutting_down then infinity else !next_tick -. now
+      in
+      match Float.min (Float.min idle drain) tick_in with
       | t when t = infinity -> -1. (* block until a descriptor is ready *)
       | t -> Float.max 0.01 t
     in
@@ -403,7 +468,14 @@ let serve ?checkpoint ?(config = default_config) db listen_fd =
               conns []
           in
           List.iter (fun c -> close_conn c Timeout_close) stale
-        end
+        end;
+        (match tick with
+        | Some f when (not !shutting_down) && Unix.gettimeofday () >= !next_tick ->
+            (* A tick failure (e.g. the replication primary vanished) must
+               not take the read path down with it. *)
+            (try f () with _ -> ());
+            next_tick := Unix.gettimeofday () +. tick_every
+        | _ -> ())
   done;
   (* Drain deadline passed or every response flushed: whatever remains is
      force-closed in an orderly way. *)

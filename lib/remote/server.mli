@@ -50,8 +50,29 @@ type config = {
 
 val default_config : config
 
+type journal_hooks = {
+  j_seq : unit -> int;  (** current journal sequence *)
+  j_bytes : unit -> int;  (** on-disk journal size *)
+  j_pull : from_seq:int -> string list;
+      (** encoded journal entries after [from_seq], batch-bounded by the
+          provider ({!Fbreplica.Replica.journal_hooks}) *)
+}
+(** Journal access that makes a server a replication source: [Stats]
+    answers carry the journal sequence/size, and [Pull_journal] is served
+    from [j_pull].  Without hooks both degrade gracefully ([0]s and an
+    [Error]). *)
+
+val max_fetch_chunks : int
+(** Upper bound on cids per [Fetch_chunks] request (512); larger requests
+    are answered with an [Error] so a response cannot blow the frame
+    limit. *)
+
 val serve :
   ?checkpoint:(unit -> int * int) ->
+  ?journal:journal_hooks ->
+  ?redirect:string * int ->
+  ?tick:(unit -> unit) ->
+  ?tick_every:float ->
   ?config:config ->
   Forkbase.Db.t ->
   Unix.file_descr ->
@@ -63,10 +84,22 @@ val serve :
     [checkpoint] is supplied when the db is backed by a durable store
     (lib/persist): it runs checkpoint + compaction and returns the
     reclaimed (chunks, bytes); without it a [Checkpoint] request is
-    answered with an error. *)
+    answered with an error.  [journal] makes the server a replication
+    source (see {!journal_hooks}).  [redirect] puts it in follower mode:
+    write requests ([Put] / [Fork] / [Merge] / [Checkpoint]) are answered
+    with [Redirect] naming the primary instead of executing.  [tick] is
+    invoked between event rounds, at most every [tick_every] seconds
+    (default 0.05) — the hook a follower's replication sync runs in, so
+    journal application is serialized with request handling; a raising
+    tick is swallowed (the serving side must survive a vanished
+    primary). *)
 
 val handle :
-  ?checkpoint:(unit -> int * int) -> Forkbase.Db.t -> Wire.request ->
+  ?checkpoint:(unit -> int * int) ->
+  ?journal:journal_hooks ->
+  ?redirect:string * int ->
+  Forkbase.Db.t ->
+  Wire.request ->
   Wire.response
 (** The request dispatcher, exposed for tests. *)
 

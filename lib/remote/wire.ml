@@ -20,6 +20,8 @@ type request =
   | Verify of { uid : Cid.t }
   | Stats
   | Checkpoint
+  | Pull_journal of { from_seq : int }
+  | Fetch_chunks of { cids : Cid.t list }
   | Quit
 
 type stats = {
@@ -31,6 +33,8 @@ type stats = {
   misses : int;
   keys : int;
   branches : int;  (** tagged branches over all keys *)
+  journal_seq : int;
+  journal_bytes : int;
   (* server connection counters; all zero when the stats come from an
      embedded db rather than a running server *)
   accepted : int;
@@ -52,6 +56,9 @@ type response =
   | Bool of bool
   | Stats_r of stats
   | Reclaimed of { chunks : int; bytes : int }
+  | Journal_batch of { primary_seq : int; entries : string list }
+  | Chunks of string list
+  | Redirect of { host : string; port : int }
   | Error of string
 
 let enc_cid buf cid = Codec.raw buf (Cid.to_raw cid)
@@ -134,6 +141,12 @@ let encode_request req =
       enc_cid buf uid
   | Stats -> Buffer.add_char buf 'S'
   | Checkpoint -> Buffer.add_char buf 'C'
+  | Pull_journal { from_seq } ->
+      Buffer.add_char buf 'J';
+      Codec.varint buf from_seq
+  | Fetch_chunks { cids } ->
+      Buffer.add_char buf 'X';
+      Codec.list buf enc_cid cids
   | Quit -> Buffer.add_char buf 'Q');
   Buffer.contents buf
 
@@ -174,6 +187,8 @@ let decode_request s =
     | 'Y' -> Verify { uid = dec_cid r }
     | 'S' -> Stats
     | 'C' -> Checkpoint
+    | 'J' -> Pull_journal { from_seq = Codec.read_varint r }
+    | 'X' -> Fetch_chunks { cids = Codec.read_list r dec_cid }
     | 'Q' -> Quit
     | c -> raise (Codec.Corrupt (Printf.sprintf "wire: bad request tag %C" c))
   in
@@ -214,12 +229,23 @@ let encode_response resp =
       Buffer.add_char buf 's';
       List.iter (Codec.varint buf)
         [ s.chunks; s.bytes; s.puts; s.dedup_hits; s.gets; s.misses; s.keys;
-          s.branches; s.accepted; s.active; s.closed_ok; s.closed_err;
-          s.frames_in; s.frames_out; s.timeouts ]
+          s.branches; s.journal_seq; s.journal_bytes; s.accepted; s.active;
+          s.closed_ok; s.closed_err; s.frames_in; s.frames_out; s.timeouts ]
   | Reclaimed { chunks; bytes } ->
       Buffer.add_char buf 'c';
       Codec.varint buf chunks;
       Codec.varint buf bytes
+  | Journal_batch { primary_seq; entries } ->
+      Buffer.add_char buf 'j';
+      Codec.varint buf primary_seq;
+      Codec.list buf Codec.string entries
+  | Chunks chunks ->
+      Buffer.add_char buf 'n';
+      Codec.list buf Codec.string chunks
+  | Redirect { host; port } ->
+      Buffer.add_char buf 'd';
+      Codec.string buf host;
+      Codec.varint buf port
   | Error msg ->
       Buffer.add_char buf 'x';
       Codec.string buf msg);
@@ -253,6 +279,8 @@ let decode_response s =
         let misses = Codec.read_varint r in
         let keys = Codec.read_varint r in
         let branches = Codec.read_varint r in
+        let journal_seq = Codec.read_varint r in
+        let journal_bytes = Codec.read_varint r in
         let accepted = Codec.read_varint r in
         let active = Codec.read_varint r in
         let closed_ok = Codec.read_varint r in
@@ -262,11 +290,18 @@ let decode_response s =
         let timeouts = Codec.read_varint r in
         Stats_r
           { chunks; bytes; puts; dedup_hits; gets; misses; keys; branches;
-            accepted; active; closed_ok; closed_err; frames_in; frames_out;
-            timeouts }
+            journal_seq; journal_bytes; accepted; active; closed_ok;
+            closed_err; frames_in; frames_out; timeouts }
     | 'c' ->
         let chunks = Codec.read_varint r in
         Reclaimed { chunks; bytes = Codec.read_varint r }
+    | 'j' ->
+        let primary_seq = Codec.read_varint r in
+        Journal_batch { primary_seq; entries = Codec.read_list r Codec.read_string }
+    | 'n' -> Chunks (Codec.read_list r Codec.read_string)
+    | 'd' ->
+        let host = Codec.read_string r in
+        Redirect { host; port = Codec.read_varint r }
     | 'x' -> Error (Codec.read_string r)
     | c -> raise (Codec.Corrupt (Printf.sprintf "wire: bad response tag %C" c))
   in

@@ -29,6 +29,12 @@ type request =
   | Checkpoint
       (** checkpoint + compact a durable server store; answered with
           [Reclaimed] *)
+  | Pull_journal of { from_seq : int }
+      (** replication: journal entries after [from_seq]; answered with
+          [Journal_batch] by a journaled (durable) server *)
+  | Fetch_chunks of { cids : Fbchunk.Cid.t list }
+      (** replication backfill: the serialized chunks for [cids] that the
+          server holds; answered with [Chunks] *)
   | Quit  (** shut the server down (tests and orderly teardown) *)
 
 type stats = {
@@ -40,6 +46,11 @@ type stats = {
   misses : int;
   keys : int;
   branches : int;  (** tagged branches over all keys *)
+  journal_seq : int;
+      (** sequence of the last committed journal entry; [0] for a
+          volatile store.  Replication lag between a primary and a
+          follower is the difference of their [journal_seq]s. *)
+  journal_bytes : int;  (** on-disk branch-journal size; [0] if volatile *)
   accepted : int;  (** connections accepted since the server started *)
   active : int;  (** connections currently open *)
   closed_ok : int;  (** orderly closes (peer finished, or server drained) *)
@@ -64,6 +75,20 @@ type response =
   | Bool of bool
   | Stats_r of stats
   | Reclaimed of { chunks : int; bytes : int }
+  | Journal_batch of { primary_seq : int; entries : string list }
+      (** [entries] are {!Fbpersist.Journal.encode_entry} bodies (sequence
+          number + records) with sequence > the pulled [from_seq], in
+          append order; [primary_seq] is the server's current journal
+          sequence, so [primary_seq - last shipped seq] is the remaining
+          lag. *)
+  | Chunks of string list
+      (** {!Fbchunk.Chunk.encode}d chunks for the requested cids that the
+          server holds; requested cids it does not hold are simply absent
+          (the puller re-pulls — the chunks may have been compacted away
+          along with the journal positions that referenced them). *)
+  | Redirect of { host : string; port : int }
+      (** typed write rejection from a read-only follower: retry the
+          request against the primary at [host:port] *)
   | Error of string
 
 val encode_request : request -> string

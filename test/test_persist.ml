@@ -175,7 +175,7 @@ let test_missing_head_is_corruption () =
   Persist.close p;
   (* forge a head that no chunk backs *)
   let j, _ = Journal.open_ (Filename.concat dir "branches.journal") in
-  Journal.append j
+  Journal.append j ~seq:3
     [
       Journal.Mutation
         (Db.Set_head

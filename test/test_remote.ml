@@ -47,6 +47,8 @@ let gen_request =
         map (fun uid -> Wire.Verify { uid }) gen_cid;
         return Wire.Stats;
         return Wire.Checkpoint;
+        map (fun from_seq -> Wire.Pull_journal { from_seq }) small_nat;
+        map (fun cids -> Wire.Fetch_chunks { cids }) (small_list gen_cid);
         return Wire.Quit;
       ])
 
@@ -55,14 +57,16 @@ let gen_stats =
     map
       (function
         | [ chunks; bytes; puts; dedup_hits; gets; misses; keys; branches;
+            journal_seq; journal_bytes;
             accepted; active; closed_ok; closed_err; frames_in; frames_out;
             timeouts ] ->
             Wire.Stats_r
               { chunks; bytes; puts; dedup_hits; gets; misses; keys; branches;
+                journal_seq; journal_bytes;
                 accepted; active; closed_ok; closed_err; frames_in; frames_out;
                 timeouts }
         | _ -> assert false)
-      (list_repeat 15 small_nat))
+      (list_repeat 17 small_nat))
 
 let gen_response =
   QCheck.Gen.(
@@ -78,6 +82,12 @@ let gen_response =
         gen_stats;
         map (fun (chunks, bytes) -> Wire.Reclaimed { chunks; bytes })
           (pair small_nat small_nat);
+        map
+          (fun (primary_seq, entries) -> Wire.Journal_batch { primary_seq; entries })
+          (pair small_nat (small_list string));
+        map (fun cs -> Wire.Chunks cs) (small_list string);
+        map (fun (host, port) -> Wire.Redirect { host; port })
+          (pair string small_nat);
         map (fun m -> Wire.Error m) string;
       ])
 
