@@ -445,6 +445,55 @@ let replication_status_cmd =
        ~doc:"show the local journal sequence and the lag behind a primary")
     Term.(const run $ of_opt_arg $ port_arg)
 
+let lint_cmd =
+  let run baseline_path write_baseline paths =
+    let paths = match paths with [] -> [ "lib"; "bin" ] | ps -> ps in
+    if write_baseline then begin
+      let findings = Fblint.Lint.collect paths in
+      Out_channel.with_open_bin baseline_path (fun oc ->
+          Out_channel.output_string oc (Fblint.Baseline.render findings));
+      Printf.printf "wrote %s (%d grandfathered findings)\n" baseline_path
+        (List.length findings)
+    end
+    else begin
+      let baseline = Fblint.Baseline.load baseline_path in
+      match Fblint.Lint.run ~baseline paths with
+      | [] -> print_endline "lint: clean"
+      | findings ->
+          List.iter
+            (fun f -> print_endline (Fblint.Finding.to_string f))
+            findings;
+          Printf.eprintf "lint: %d new finding(s)\n" (List.length findings);
+          exit 1
+    end
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt string "lint-baseline.txt"
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Baseline of grandfathered findings (count-matched per rule \
+                and file); only findings beyond its budget fail.")
+  in
+  let write_flag =
+    Arg.(
+      value & flag
+      & info [ "write-baseline" ]
+          ~doc:"Regenerate $(b,--baseline) from the current findings \
+                instead of failing on them.")
+  in
+  let paths_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"PATHS")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "static analysis of the repository's own OCaml sources: cid \
+          discipline, EINTR-safe syscalls, no partial functions, typed \
+          errors, no swallowed exceptions, dune hygiene (default paths: \
+          lib bin; exits 1 on any finding not covered by the baseline)")
+    Term.(const run $ baseline_arg $ write_flag $ paths_arg)
+
 let checkpoint_cmd =
   let run () =
     with_store @@ fun p ->
@@ -464,6 +513,7 @@ let () =
        (Cmd.group info
           [
             put_cmd; get_cmd; fork_cmd; branches_cmd; log_cmd; merge_cmd;
-            keys_cmd; verify_cmd; fsck_cmd; stats_cmd; checkpoint_cmd;
-            gc_cmd; serve_cmd; follow_cmd; replication_status_cmd;
+            keys_cmd; verify_cmd; fsck_cmd; lint_cmd; stats_cmd;
+            checkpoint_cmd; gc_cmd; serve_cmd; follow_cmd;
+            replication_status_cmd;
           ]))

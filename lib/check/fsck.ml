@@ -696,7 +696,7 @@ let rec check_version ctx ~key uid =
                   let expected =
                     1
                     + List.fold_left
-                        (fun m d -> max m (Option.get d))
+                        (fun m d -> Option.fold ~none:m ~some:(max m) d)
                         (-1) base_depths
                   in
                   if obj.Fobject.depth <> expected then
@@ -742,7 +742,10 @@ let rec check_version ctx ~key uid =
                            })
                     else
                       match shape_of_kind kind with
-                      | None -> assert false
+                      | None ->
+                          (* [kind] is non-Kprim here: the Kprim arm above
+                             already matched, and only Kprim lacks a shape. *)
+                          invalid_arg "Fsck.check_version: kind has no tree"
                       | Some shape ->
                           walk_tree ctx shape (Cid.of_raw obj.Fobject.data)));
                 Some obj.Fobject.depth)

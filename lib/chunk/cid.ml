@@ -14,7 +14,6 @@ let digest = Fbhash.Sha256.digest
 let null = String.make size '\000'
 let equal = String.equal
 let compare = String.compare
-let hash = Hashtbl.hash
 let pp fmt t = Format.pp_print_string fmt (short_hex t)
 
 let low_bits t =
@@ -22,6 +21,15 @@ let low_bits t =
      since the digest is uniform. *)
   let b i = Char.code t.[size - 1 - i] in
   (b 3 lsl 24) lor (b 2 lsl 16) lor (b 1 lsl 8) lor b 0
+
+(* Explicit hash straight from the digest bytes (a different slice than
+   [low_bits], so POS-Tree split boundaries and table buckets stay
+   uncorrelated).  Never the polymorphic [Hashtbl.hash]: hashing a digest
+   through the generic hasher is exactly the discipline slip the
+   cid-discipline lint rule exists to catch. *)
+let hash t =
+  let b i = Char.code t.[i] in
+  ((b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3) land max_int
 
 module Ord = struct
   type nonrec t = t

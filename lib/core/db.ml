@@ -363,8 +363,11 @@ let verify_version t uid =
       match Fobject.of_chunk chunk with
       | exception Fbutil.Codec.Corrupt _ -> false
       | obj -> (
+          (* Any failure to materialize the value — decode errors, missing
+             chunks, bad shapes — means verification fails; the catch-all
+             is the point here. *)
           match Fobject.value t.store t.cfg obj with
-          | exception _ -> false
+          | exception _ -> false (* lint: allow no-swallow *)
           | Value.Prim _ -> true
           | Value.Blob b -> Fbtypes.Fblob.verify b
           | Value.List l -> Fbtypes.Flist.verify l

@@ -1,0 +1,64 @@
+module F = Finding
+
+(* (rule-id, scope-file) -> tolerated count *)
+type t = ((string * string) * int) list
+
+let empty = []
+
+let key_of (f : F.t) = (F.rule_id f.F.rule, f.F.scope)
+
+let of_string text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if String.length line = 0 || line.[0] = '#' then None
+         else
+           match
+             String.split_on_char ' ' line
+             |> List.filter (fun s -> String.length s > 0)
+           with
+           | [ rule; file; count ] -> (
+               match (F.rule_of_id rule, int_of_string_opt count) with
+               | Some _, Some n when n > 0 -> Some ((rule, file), n)
+               | _ -> None)
+           | _ -> None)
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error _ -> empty
+
+let counts findings =
+  List.fold_left
+    (fun acc f ->
+      let key = key_of f in
+      let n = match List.assoc_opt key acc with Some n -> n | None -> 0 in
+      (key, n + 1) :: List.remove_assoc key acc)
+    [] findings
+
+let render findings =
+  let entries =
+    counts findings
+    |> List.map (fun ((rule, file), n) -> Printf.sprintf "%s %s %d" rule file n)
+    |> List.sort String.compare
+  in
+  String.concat "\n"
+    ("# forkbase lint baseline: grandfathered findings, one per line as"
+    :: "#   <rule-id> <repo-relative-file> <tolerated-count>"
+    :: "# Regenerate with: forkbase lint --write-baseline"
+    :: entries)
+  ^ "\n"
+
+let budget t key =
+  match List.assoc_opt key t with Some n -> n | None -> 0
+
+let filter_new t findings =
+  let sorted = List.sort F.compare findings in
+  let used = Hashtbl.create 16 in
+  List.filter
+    (fun f ->
+      let key = key_of f in
+      let seen = match Hashtbl.find_opt used key with Some n -> n | None -> 0 in
+      Hashtbl.replace used key (seen + 1);
+      seen >= budget t key)
+    sorted

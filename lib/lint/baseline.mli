@@ -1,0 +1,34 @@
+(** Grandfathered findings.
+
+    A baseline is a checked-in budget of known findings: up to [count]
+    findings of [rule] in [file] are tolerated, anything beyond is new and
+    fails the build.  Matching is by count per (rule, repo-relative file),
+    never by line number, so unrelated edits that shift code around do not
+    invalidate the file.
+
+    On disk the format is one entry per line, [#]-comments allowed:
+    {v
+    <rule-id> <repo-relative-file> <count>
+    v} *)
+
+type t
+
+val empty : t
+
+val of_string : string -> t
+(** Parse baseline text.  Malformed lines are ignored (a baseline must
+    never be able to crash the gate); tighten them via {!render}. *)
+
+val load : string -> t
+(** [load path] is [of_string] of the file's contents; a missing or
+    unreadable file is {!empty}. *)
+
+val render : Finding.t list -> string
+(** Serialize findings as baseline text (counted per rule and scope file,
+    sorted) — the [--write-baseline] output, round-trippable through
+    {!of_string}. *)
+
+val filter_new : t -> Finding.t list -> Finding.t list
+(** Drop findings covered by the baseline budget: for each (rule, scope)
+    group, the first [count] findings in line order are grandfathered and
+    the rest are returned as new. *)

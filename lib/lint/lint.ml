@@ -1,0 +1,151 @@
+module F = Finding
+
+let lint_source = Rules.check_source
+
+(* ------------------------------------------------------------------ *)
+(* dune-hygiene                                                        *)
+
+let ends_with ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.equal (String.sub s (n - m) m) suffix
+
+let declares_library dune_text =
+  (* token-level scan: a "(library" stanza opener *)
+  String.split_on_char '(' dune_text
+  |> List.exists (fun chunk ->
+         match String.split_on_char ' ' (String.trim chunk) with
+         | "library" :: _ -> true
+         | [ one ] -> String.equal (String.trim one) "library"
+         | _ -> false)
+
+(* A -w spec that turns whole warning classes off: "-a" anywhere in the
+   spec ("a" alone *enables* all, "@a" makes all fatal — both fine). *)
+let relaxes_warnings spec =
+  let n = String.length spec in
+  let rec scan i =
+    if i + 1 >= n then false
+    else if spec.[i] = '-' && spec.[i + 1] = 'a' then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let dune_tokens text =
+  String.map (function '(' | ')' | '\n' | '\t' -> ' ' | c -> c) text
+  |> String.split_on_char ' '
+  |> List.filter (fun s -> String.length s > 0)
+
+let rec relaxed_w_flag = function
+  | [] -> false
+  | "-w" :: spec :: rest -> relaxes_warnings spec || relaxed_w_flag rest
+  | _ :: rest -> relaxed_w_flag rest
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let hygiene_of_listing ~dir ~dune ~files =
+  let scope_dir = F.scope_of_file dir in
+  let in_lib =
+    String.equal scope_dir "lib" || starts_with ~prefix:"lib/" scope_dir
+  in
+  match dune with
+  | None -> []
+  | Some dune_text ->
+      let missing_mli =
+        if in_lib && declares_library dune_text then
+          List.filter_map
+            (fun f ->
+              if
+                ends_with ~suffix:".ml" f
+                && (not (String.length f > 0 && f.[0] = '.'))
+                && not (List.exists (String.equal (f ^ "i")) files)
+              then
+                Some
+                  (F.v ~rule:F.Dune_hygiene
+                     ~file:(Filename.concat dir f)
+                     ~line:1
+                     "library module has no .mli; every lib/ module keeps \
+                      an explicit interface")
+              else None)
+            files
+        else []
+      in
+      let relaxed =
+        if in_lib && relaxed_w_flag (dune_tokens dune_text) then
+          [
+            F.v ~rule:F.Dune_hygiene
+              ~file:(Filename.concat dir "dune")
+              ~line:1
+              "dune flags disable whole warning classes (-w ...-a...); \
+               libraries must stay warning-clean under the default strict \
+               set";
+          ]
+        else []
+      in
+      missing_mli @ relaxed
+
+(* ------------------------------------------------------------------ *)
+(* Tree walking                                                        *)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> Ok text
+  | exception Sys_error msg -> Error msg
+
+let lint_ml_file path =
+  match read_file path with
+  | Ok source -> lint_source ~file:path source
+  | Error msg ->
+      [ F.v ~rule:F.Parse_error ~file:path ~line:1 ("cannot read: " ^ msg) ]
+
+let skip_dir name =
+  String.equal name "_build"
+  || (String.length name > 0 && name.[0] = '.')
+
+(* Dangling symlinks and races must not crash the gate. *)
+let is_dir path =
+  match Sys.is_directory path with
+  | b -> b
+  | exception Sys_error _ -> false
+
+let rec walk acc path =
+  if is_dir path then begin
+    let entries =
+      match Sys.readdir path with
+      | names ->
+          let names = Array.to_list names in
+          List.sort String.compare names
+      | exception Sys_error _ -> []
+    in
+    let dune =
+      if List.exists (String.equal "dune") entries then
+        match read_file (Filename.concat path "dune") with
+        | Ok text -> Some text
+        | Error _ -> None
+      else None
+    in
+    let acc = hygiene_of_listing ~dir:path ~dune ~files:entries @ acc in
+    List.fold_left
+      (fun acc name ->
+        let child = Filename.concat path name in
+        if is_dir child then
+          if skip_dir name then acc else walk acc child
+        else if ends_with ~suffix:".ml" name then lint_ml_file child @ acc
+        else acc)
+      acc entries
+  end
+  else if ends_with ~suffix:".ml" path then lint_ml_file path @ acc
+  else acc
+
+let collect paths =
+  List.fold_left
+    (fun acc path ->
+      if Sys.file_exists path then walk acc path
+      else
+        F.v ~rule:F.Parse_error ~file:path ~line:1 "no such file or directory"
+        :: acc)
+    [] paths
+  |> List.sort_uniq F.compare
+
+let run ?(baseline = Baseline.empty) paths =
+  Baseline.filter_new baseline (collect paths)

@@ -1,0 +1,31 @@
+(** The lint driver: walk source trees, run the {!Rules} over every [.ml],
+    apply the dune-hygiene checks per directory, and subtract a
+    {!Baseline}.
+
+    This is what [forkbase lint] and the [@lint] dune alias call.  The
+    analyzer runs inside the tier-1 gate, so no entry point here may
+    raise on malformed input — unreadable files and unparsable sources
+    become findings, never exceptions. *)
+
+val lint_source : file:string -> string -> Finding.t list
+(** Analyze one source text (suppressions applied, no baseline).  [file]
+    names it for locations and scoping — fixture tests pass paths like
+    ["lib/fixture.ml"] to opt into library-scope rules. *)
+
+val hygiene_of_listing :
+  dir:string -> dune:string option -> files:string list -> Finding.t list
+(** The dune-hygiene rule over one directory's listing: [dune] is the
+    dune file's text if present, [files] the directory's entries.  In a
+    [lib/] directory that declares a library, every [.ml] must have a
+    matching [.mli], and no dune [flags] stanza may silence whole warning
+    classes ([-w] specs containing [-a]/[a-]).  Exposed on a listing — not
+    a path — so tests can feed synthetic directories. *)
+
+val collect : string list -> Finding.t list
+(** Walk the given files/directories (skipping [_build] and dot-dirs),
+    lint every [.ml], apply dune-hygiene per directory, and return all
+    findings sorted.  Unreadable paths become [parse-error] findings. *)
+
+val run : ?baseline:Baseline.t -> string list -> Finding.t list
+(** [collect] minus the baseline budget: the findings that should fail
+    the build.  Empty means the tree is clean. *)

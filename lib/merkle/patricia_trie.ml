@@ -65,20 +65,18 @@ let rec insert node path value =
         | nib :: rest -> slots.(nib) <- leaf rest value);
         ext cp (branch slots !bvalue)
       end
-  | Ext (_, p, child) ->
+  | Ext (_, p, child) -> (
       let cp, rp, rpath = common_prefix p path in
-      if rp = [] then ext p (insert child rpath value)
-      else begin
-        let slots = Array.make 16 Empty in
-        let bvalue = ref None in
-        (match rp with
-        | nib :: rest -> slots.(nib) <- ext rest child
-        | [] -> assert false);
-        (match rpath with
-        | [] -> bvalue := Some value
-        | nib :: rest -> slots.(nib) <- leaf rest value);
-        ext cp (branch slots !bvalue)
-      end
+      match rp with
+      | [] -> ext p (insert child rpath value)
+      | nib :: rest ->
+          let slots = Array.make 16 Empty in
+          let bvalue = ref None in
+          slots.(nib) <- ext rest child;
+          (match rpath with
+          | [] -> bvalue := Some value
+          | nib :: rest -> slots.(nib) <- leaf rest value);
+          ext cp (branch slots !bvalue))
   | Branch (_, slots, v) -> (
       match path with
       | [] -> branch (Array.copy slots) (Some value)
@@ -99,7 +97,8 @@ let normalize_branch slots v =
       | Leaf (_, p, value) -> leaf (nib :: p) value
       | Ext (_, p, c) -> ext (nib :: p) c
       | Branch _ -> ext [ nib ] child
-      | Empty -> assert false)
+      (* unreachable: [children] was filtered to non-Empty slots *)
+      | Empty -> assert false (* lint: allow typed-errors *))
   | _ -> branch slots v
 
 let rec delete node path =

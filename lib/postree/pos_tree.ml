@@ -170,19 +170,18 @@ module Make (E : ELEM) = struct
     }
 
   let ib_cut b =
-    if b.ib_n > 0 then begin
-      let entries = List.rev b.ib_entries in
-      let payload = encode_index_payload entries in
-      let chunk = Chunk.v E.index_tag payload in
-      let cid = b.ib_store.Store.put chunk in
-      let last_key =
-        match b.ib_entries with e :: _ -> e.last_key | [] -> assert false
-      in
-      b.ib_emit { cid; count = b.ib_sum; span = b.ib_n; last_key };
-      b.ib_entries <- [];
-      b.ib_n <- 0;
-      b.ib_sum <- 0
-    end
+    match b.ib_entries with
+    | [] -> ()
+    | last :: _ ->
+        let entries = List.rev b.ib_entries in
+        let payload = encode_index_payload entries in
+        let chunk = Chunk.v E.index_tag payload in
+        let cid = b.ib_store.Store.put chunk in
+        b.ib_emit
+          { cid; count = b.ib_sum; span = b.ib_n; last_key = last.last_key };
+        b.ib_entries <- [];
+        b.ib_n <- 0;
+        b.ib_sum <- 0
 
   let ib_add b r =
     b.ib_entries <- r :: b.ib_entries;

@@ -1,6 +1,20 @@
 type t = { fd : Unix.file_descr }
 
 exception Redirected of string * int
+exception Unknown_host of string
+exception Disconnected
+exception Remote_failure of string
+exception Protocol_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_host h -> Some (Printf.sprintf "forkbase client: unknown host %S" h)
+    | Disconnected -> Some "forkbase client: server closed the connection"
+    | Remote_failure msg -> Some ("forkbase server error: " ^ msg)
+    | Protocol_error msg -> Some ("forkbase protocol error: " ^ msg)
+    | Redirected (host, port) ->
+        Some (Printf.sprintf "forkbase: redirected to primary %s:%d" host port)
+    | _ -> None)
 
 let resolve host =
   match Unix.inet_addr_of_string host with
@@ -8,8 +22,7 @@ let resolve host =
   | exception Failure _ -> (
       match Unix.gethostbyname host with
       | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
-      | _ | (exception Not_found) ->
-          failwith (Printf.sprintf "forkbase client: unknown host %S" host))
+      | _ | (exception Not_found) -> raise (Unknown_host host))
 
 (* Transient refusals happen routinely when a client races server startup;
    retry with bounded exponential backoff (capped both in attempts and in
@@ -40,75 +53,76 @@ let call t req =
     Wire.read_frame t.fd
   with
   | Some frame -> Wire.decode_response frame
-  | None | (exception Wire.Connection_closed) ->
-      failwith "forkbase client: server closed the connection"
+  | None | (exception Wire.Connection_closed) -> raise Disconnected
 
 let expect_ok name = function
-  | Wire.Error msg -> failwith (name ^ ": " ^ msg)
+  | Wire.Error msg -> raise (Remote_failure (name ^ ": " ^ msg))
   | Wire.Redirect { host; port } -> raise (Redirected (host, port))
   | resp -> resp
+
+let unexpected name = raise (Protocol_error (name ^ ": unexpected response"))
 
 let put ?(branch = "master") ?(context = "") t ~key value =
   match expect_ok "put" (call t (Wire.Put { key; branch; context; value })) with
   | Wire.Uid uid -> uid
-  | _ -> failwith "put: unexpected response"
+  | _ -> unexpected "put"
 
 let get ?(branch = "master") t ~key =
   match expect_ok "get" (call t (Wire.Get { key; branch })) with
   | Wire.Value v -> v
-  | _ -> failwith "get: unexpected response"
+  | _ -> unexpected "get"
 
 let fork t ~key ~from_branch ~new_branch =
   match expect_ok "fork" (call t (Wire.Fork { key; from_branch; new_branch })) with
   | Wire.Ok_unit -> ()
-  | _ -> failwith "fork: unexpected response"
+  | _ -> unexpected "fork"
 
 let merge ?(resolver = "manual") t ~key ~target ~ref_branch =
   match expect_ok "merge" (call t (Wire.Merge { key; target; ref_branch; resolver })) with
   | Wire.Uid uid -> uid
-  | _ -> failwith "merge: unexpected response"
+  | _ -> unexpected "merge"
 
 let track ?(branch = "master") t ~key ~lo ~hi =
   match expect_ok "track" (call t (Wire.Track { key; branch; lo; hi })) with
   | Wire.History h -> h
-  | _ -> failwith "track: unexpected response"
+  | _ -> unexpected "track"
 
 let list_keys t =
   match expect_ok "list_keys" (call t Wire.List_keys) with
   | Wire.Keys ks -> ks
-  | _ -> failwith "list_keys: unexpected response"
+  | _ -> unexpected "list_keys"
 
 let list_branches t ~key =
   match expect_ok "list_branches" (call t (Wire.List_branches { key })) with
   | Wire.Branches bs -> bs
-  | _ -> failwith "list_branches: unexpected response"
+  | _ -> unexpected "list_branches"
 
 let verify t uid =
   match expect_ok "verify" (call t (Wire.Verify { uid })) with
   | Wire.Bool b -> b
-  | _ -> failwith "verify: unexpected response"
+  | _ -> unexpected "verify"
 
 let stats t =
   match expect_ok "stats" (call t Wire.Stats) with
   | Wire.Stats_r s -> s
-  | _ -> failwith "stats: unexpected response"
+  | _ -> unexpected "stats"
 
 let checkpoint t =
   match expect_ok "checkpoint" (call t Wire.Checkpoint) with
   | Wire.Reclaimed { chunks; bytes } -> (chunks, bytes)
-  | _ -> failwith "checkpoint: unexpected response"
+  | _ -> unexpected "checkpoint"
 
 let pull_journal t ~from_seq =
   match expect_ok "pull_journal" (call t (Wire.Pull_journal { from_seq })) with
   | Wire.Journal_batch { primary_seq; entries } -> (primary_seq, entries)
-  | _ -> failwith "pull_journal: unexpected response"
+  | _ -> unexpected "pull_journal"
 
 let fetch_chunks t cids =
   match expect_ok "fetch_chunks" (call t (Wire.Fetch_chunks { cids })) with
   | Wire.Chunks chunks -> chunks
-  | _ -> failwith "fetch_chunks: unexpected response"
+  | _ -> unexpected "fetch_chunks"
 
 let quit_server t =
   match call t Wire.Quit with
   | Wire.Ok_unit -> ()
-  | _ -> failwith "quit: unexpected response"
+  | _ -> unexpected "quit"

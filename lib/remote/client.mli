@@ -7,6 +7,24 @@ exception Redirected of string * int
     write request with {!Wire.Redirect}: retry against the primary at
     [(host, port)]. *)
 
+exception Unknown_host of string
+(** [connect]'s host resolves to nothing (neither a dotted quad nor a
+    known name). *)
+
+exception Disconnected
+(** The server closed the connection, whether detected mid-write
+    ([EPIPE]/[ECONNRESET], surfaced as {!Wire.Connection_closed}) or as
+    EOF before the response. *)
+
+exception Remote_failure of string
+(** The server answered with a {!Wire.Error} (unknown branch, merge
+    conflict, non-durable store asked to checkpoint, ...); the payload is
+    ["call: server message"]. *)
+
+exception Protocol_error of string
+(** The response decoded but had the wrong shape for the request — a
+    protocol bug or a hostile peer, never a routine refusal. *)
+
 val connect :
   ?host:string ->
   ?retries:int -> ?backoff:float -> ?max_backoff:float -> port:int -> unit -> t
@@ -19,11 +37,13 @@ val connect :
 val close : t -> unit
 val call : t -> Wire.request -> Wire.response
 (** One request/response round trip.
-    @raise Failure if the server closed the connection, whether detected
-    mid-write ([EPIPE]/[ECONNRESET], surfaced as
-    {!Wire.Connection_closed}) or as EOF before the response. *)
+    @raise Disconnected if the server closed the connection. *)
 
-(** Typed conveniences (raise [Failure] on an [Error] response). *)
+(** Typed conveniences.
+    @raise Remote_failure on an [Error] response
+    @raise Protocol_error on a mis-shaped response
+    @raise Disconnected if the server closed the connection
+    @raise Redirected when a follower refuses a write *)
 
 val put :
   ?branch:string -> ?context:string -> t -> key:string -> Wire.value ->

@@ -317,12 +317,10 @@ let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
   in
   let scratch = Bytes.create 65536 in
   let handle_readable c =
-    match Unix.read c.fd scratch 0 (Bytes.length scratch) with
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-      ->
-        None
-    | exception Unix.Unix_error _ -> Some Err_close
-    | 0 ->
+    match Wire.read_nb c.fd scratch with
+    | Wire.Nb_nothing -> None
+    | Wire.Nb_read_error -> Some Err_close
+    | Wire.Nb_eof ->
         (* Peer closed.  A half-received frame means it vanished
            mid-request; pending output still gets a flush attempt. *)
         if mid_frame c then Some Err_close
@@ -331,7 +329,7 @@ let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
           None
         end
         else Some Ok_close
-    | n ->
+    | Wire.Nb_read n ->
         c.last_active <- Unix.gettimeofday ();
         Buffer.add_subbytes c.rbuf scratch 0 n;
         process_frames c;
@@ -350,14 +348,15 @@ let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
             c.wcur <- Bytes.of_string frame;
             c.wpos <- 0
       else
-        match Unix.write c.fd c.wcur c.wpos (Bytes.length c.wcur - c.wpos) with
-        | n ->
+        match
+          Wire.write_nb c.fd c.wcur ~pos:c.wpos
+            ~len:(Bytes.length c.wcur - c.wpos)
+        with
+        | Wire.Nb_wrote n ->
             c.wpos <- c.wpos + n;
             c.last_active <- Unix.gettimeofday ()
-        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-            continue := false
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | exception Unix.Unix_error _ ->
+        | Wire.Nb_blocked -> continue := false
+        | Wire.Nb_write_error ->
             continue := false;
             result := Some Err_close
     done;
@@ -366,13 +365,9 @@ let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
   let accept_new () =
     let continue = ref true in
     while !continue && (not !shutting_down) && k.active < config.max_conns do
-      match Unix.accept listen_fd with
-      | exception
-          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-        ->
-          continue := false
-      | exception Unix.Unix_error _ -> continue := false
-      | fd, _peer ->
+      match Wire.accept_nb listen_fd with
+      | None -> continue := false
+      | Some (fd, _peer) ->
           Unix.set_nonblock fd;
           k.accepted <- k.accepted + 1;
           k.active <- k.active + 1;
@@ -433,9 +428,8 @@ let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
       | t when t = infinity -> -1. (* block until a descriptor is ready *)
       | t -> Float.max 0.01 t
     in
-    match Unix.select !read_fds !write_fds [] timeout with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | readable, writable, _ ->
+    match Wire.select_nb !read_fds !write_fds timeout with
+    | readable, writable ->
         (* Each connection's events are fault-isolated: any error closes
            that connection only and lands in the counters. *)
         List.iter
@@ -473,7 +467,7 @@ let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
         | Some f when (not !shutting_down) && Unix.gettimeofday () >= !next_tick ->
             (* A tick failure (e.g. the replication primary vanished) must
                not take the read path down with it. *)
-            (try f () with _ -> ());
+            (try f () with _ -> ()) (* lint: allow no-swallow *);
             next_tick := Unix.gettimeofday () +. tick_every
         | _ -> ())
   done;

@@ -392,3 +392,44 @@ let read_frame ?(max_frame_bytes = default_max_frame_bytes) fd =
     if not (really_read fd body 0 n) then None
     else Some (Bytes.unsafe_to_string body)
   end
+
+(* --- nonblocking wrappers (the server event loop) ---
+
+   The raw syscalls live here, next to their blocking cousins, so every
+   EINTR/EAGAIN/peer-vanished case is classified in exactly one place;
+   the syscall-discipline lint rule bans [Unix.read]/[write]/[select]/
+   [accept] everywhere else. *)
+
+type nb_read = Nb_read of int | Nb_eof | Nb_nothing | Nb_read_error
+
+let read_nb fd buf =
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | 0 -> Nb_eof
+  | n -> Nb_read n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      Nb_nothing
+  | exception Unix.Unix_error _ -> Nb_read_error
+
+type nb_write = Nb_wrote of int | Nb_blocked | Nb_write_error
+
+let rec write_nb fd buf ~pos ~len =
+  match Unix.write fd buf pos len with
+  | n -> Nb_wrote n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_nb fd buf ~pos ~len
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Nb_blocked
+  | exception Unix.Unix_error _ -> Nb_write_error
+
+let accept_nb fd =
+  match Unix.accept fd with
+  | conn -> Some conn
+  | exception Unix.Unix_error _ ->
+      (* EAGAIN/EWOULDBLOCK/EINTR and genuine accept errors alike: nothing
+         usable was accepted this round; the select loop comes back. *)
+      None
+
+let select_nb reads writes timeout =
+  match Unix.select reads writes [] timeout with
+  | r, w, _ -> (r, w)
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])

@@ -134,3 +134,42 @@ val read_frame : ?max_frame_bytes:int -> Unix.file_descr -> string option
     [EINTR].  [max_frame_bytes] (default {!default_max_frame_bytes}) bounds
     the announced body length; violations raise [Fbutil.Codec.Corrupt]
     {e before} allocating the body buffer. *)
+
+(** {1 Nonblocking wrappers}
+
+    The {!Server} event loop's side of syscall discipline: raw
+    [Unix.read]/[write]/[select]/[accept] are confined to this module (the
+    [syscall-discipline] lint rule enforces it), so every
+    [EINTR]/[EAGAIN]/reset case is classified exactly once.  All of these
+    are total — they never raise. *)
+
+type nb_read =
+  | Nb_read of int  (** that many bytes landed in the buffer *)
+  | Nb_eof  (** orderly peer close *)
+  | Nb_nothing  (** [EAGAIN]/[EWOULDBLOCK]/[EINTR]: retry after select *)
+  | Nb_read_error  (** the connection is unusable; close it *)
+
+val read_nb : Unix.file_descr -> Bytes.t -> nb_read
+(** Read once into [buf] from a nonblocking socket. *)
+
+type nb_write =
+  | Nb_wrote of int  (** a (possibly partial) write succeeded *)
+  | Nb_blocked  (** [EAGAIN]/[EWOULDBLOCK]: wait for writability *)
+  | Nb_write_error  (** the connection is unusable; close it *)
+
+val write_nb : Unix.file_descr -> Bytes.t -> pos:int -> len:int -> nb_write
+(** Write once from [buf.[pos..pos+len)]; retries [EINTR] internally. *)
+
+val accept_nb :
+  Unix.file_descr -> (Unix.file_descr * Unix.sockaddr) option
+(** Accept once from a nonblocking listener; [None] when nothing usable
+    was accepted (would-block, interrupted, or a transient accept error) —
+    the select loop simply comes back. *)
+
+val select_nb :
+  Unix.file_descr list ->
+  Unix.file_descr list ->
+  float ->
+  Unix.file_descr list * Unix.file_descr list
+(** [Unix.select] restricted to (reads, writes) with [EINTR] surfacing as
+    an empty round rather than an exception. *)

@@ -61,7 +61,7 @@ let conn t =
 let drop_conn t =
   match t.client with
   | Some c ->
-      (try Client.close c with _ -> ());
+      (try Client.close c with Unix.Unix_error _ -> ());
       t.client <- None
   | None -> ()
 
@@ -127,12 +127,11 @@ exception Stale_batch
 
 let fetch_closure t roots =
   let store = Forkbase.Db.store (Persist.db t.persist) in
-  let seen = Hashtbl.create 64 in
+  let seen = Cid.Tbl.create 64 in
   let pending = Queue.create () in
   let rec visit cid =
-    let raw = Cid.to_raw cid in
-    if not (Hashtbl.mem seen raw) then begin
-      Hashtbl.add seen raw ();
+    if not (Cid.Tbl.mem seen cid) then begin
+      Cid.Tbl.add seen cid ();
       match store.Store.get cid with
       | Some chunk -> List.iter visit (chunk_children chunk)
       | None -> Queue.add cid pending
@@ -185,20 +184,31 @@ let sync_step t =
     end
   with
   | result -> result
-  | exception (Failure _ | Unix.Unix_error _ | Wire.Connection_closed) ->
+  | exception
+      ( Client.Disconnected | Client.Unknown_host _ | Client.Remote_failure _
+      | Unix.Unix_error _ | Wire.Connection_closed ) ->
       drop_conn t;
       Primary_gone
 
+exception Not_converging
+exception Primary_unreachable
+
+let () =
+  Printexc.register_printer (function
+    | Not_converging ->
+        Some "Replica.sync_until_caught_up: not converging"
+    | Primary_unreachable ->
+        Some "Replica.sync_until_caught_up: primary unreachable"
+    | _ -> None)
+
 let sync_until_caught_up ?(max_rounds = 1000) t =
   let rec go rounds =
-    if rounds <= 0 then
-      failwith "Replica.sync_until_caught_up: not converging"
+    if rounds <= 0 then raise Not_converging
     else
       match sync_step t with
       | Caught_up -> ()
       | Applied _ -> go (rounds - 1)
-      | Primary_gone ->
-          failwith "Replica.sync_until_caught_up: primary unreachable"
+      | Primary_gone -> raise Primary_unreachable
   in
   go max_rounds
 

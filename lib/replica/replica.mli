@@ -63,14 +63,26 @@ val open_follower :
 val sync_step : t -> progress
 (** One pull/fetch/apply round: pull at most one batch of journal
     entries, backfill the chunks they need, apply them.  Never raises on
-    a vanished primary ([Primary_gone]); fault-injection exceptions from
-    a [wrap_store] ({!Fbchunk.Chunk_store.Injected_fault}) and local
-    corruption do propagate. *)
+    a vanished primary ([Primary_gone], covering
+    {!Fbremote.Client.Disconnected}, [Unknown_host], [Remote_failure]
+    and socket errors); fault-injection exceptions from a [wrap_store]
+    ({!Fbchunk.Chunk_store.Injected_fault}), protocol violations
+    ({!Fbremote.Client.Protocol_error}) and local corruption do
+    propagate. *)
+
+exception Not_converging
+(** {!sync_until_caught_up} ran out of rounds while the primary kept
+    producing new entries. *)
+
+exception Primary_unreachable
+(** {!sync_until_caught_up} hit [Primary_gone] — the primary is down or
+    hung up mid-pull. *)
 
 val sync_until_caught_up : ?max_rounds:int -> t -> unit
 (** Run {!sync_step} until [Caught_up].
-    @raise Failure after [max_rounds] (default 1000) rounds without
-    catching up, or if the primary is unreachable. *)
+    @raise Not_converging after [max_rounds] (default 1000) rounds
+    without catching up.
+    @raise Primary_unreachable if the primary cannot be reached. *)
 
 val seq : t -> int
 (** Sequence of the last entry applied (and journaled) locally. *)

@@ -71,7 +71,9 @@ let update_at db ~name updates =
                 (fun (i, r) ->
                   match column_values [| r |] col with
                   | [ v ] -> (i, 1, [ v ])
-                  | _ -> assert false)
+                  | _ ->
+                      invalid_arg
+                        ("Table_col.update_at: row is missing column " ^ col))
                 updates
             in
             (col, Flist.splice_many l vals))

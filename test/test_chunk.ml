@@ -23,6 +23,43 @@ let test_cid_basics () =
   | _ -> Alcotest.fail "short raw accepted");
   Alcotest.(check bool) "low_bits in range" true (Cid.low_bits c >= 0)
 
+(* Regression for the explicit cid identity operations (the cid-discipline
+   lint rule bans the polymorphic ones): distinct digests never collide
+   under [equal]/[compare], [hash] agrees with [equal], and a [Cid.Tbl]
+   keyed by the explicit hash finds exactly what was inserted. *)
+let test_cid_identity_operations () =
+  let n = 512 in
+  let cids = List.init n (fun i -> Cid.digest (Printf.sprintf "cid-%d" i)) in
+  let tbl = Cid.Tbl.create 64 in
+  List.iteri (fun i c -> Cid.Tbl.replace tbl c i) cids;
+  Alcotest.(check int) "table holds all distinct cids" n (Cid.Tbl.length tbl);
+  List.iteri
+    (fun i c ->
+      (* re-derive so equality cannot be physical *)
+      let c' = Cid.digest (Printf.sprintf "cid-%d" i) in
+      Alcotest.(check bool) "equal on same digest" true (Cid.equal c c');
+      Alcotest.(check int) "compare on same digest" 0 (Cid.compare c c');
+      Alcotest.(check int) "hash consistent with equal" (Cid.hash c)
+        (Cid.hash c');
+      Alcotest.(check int) "tbl lookup via explicit hash" i
+        (Cid.Tbl.find tbl c'))
+    cids;
+  let distinct_pairs_agree =
+    List.for_all
+      (fun c ->
+        let other = Cid.digest (Cid.to_hex c) in
+        (not (Cid.equal c other)) && Cid.compare c other <> 0)
+      cids
+  in
+  Alcotest.(check bool) "distinct digests never equal" true
+    distinct_pairs_agree;
+  (* the explicit hash must actually discriminate: 512 digests into 2^30
+     buckets colliding down to a handful would mean a broken slice *)
+  let buckets = Hashtbl.create 64 in
+  List.iter (fun c -> Hashtbl.replace buckets (Cid.hash c) ()) cids;
+  Alcotest.(check bool) "hash spreads distinct digests" true
+    (Hashtbl.length buckets > n - 8)
+
 let test_chunk_encoding () =
   List.iter
     (fun tag ->
@@ -229,6 +266,8 @@ let () =
       ( "model",
         [
           Alcotest.test_case "cid basics" `Quick test_cid_basics;
+          Alcotest.test_case "cid identity operations" `Quick
+            test_cid_identity_operations;
           Alcotest.test_case "chunk encoding" `Quick test_chunk_encoding;
           Alcotest.test_case "tag in cid" `Quick test_tag_distinguishes_cids;
           q prop_store_roundtrip;

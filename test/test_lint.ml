@@ -1,0 +1,225 @@
+(* The lint analyzer (lib/lint): every rule has a firing fixture and a
+   clean fixture, suppressions and baselines round-trip, the walker skips
+   build artifacts, and — the acceptance test — the live tree lints clean
+   against the checked-in baseline. *)
+
+module Finding = Fblint.Finding
+module Rules = Fblint.Rules
+module Baseline = Fblint.Baseline
+module Lint = Fblint.Lint
+
+let ids findings =
+  List.map (fun (f : Finding.t) -> Finding.rule_id f.Finding.rule) findings
+
+let lint ?(file = "lib/fixture.ml") source = Lint.lint_source ~file source
+
+let check_ids name expected findings =
+  Alcotest.(check (list string)) name expected (ids findings)
+
+(* --- each rule: one firing fixture, one clean fixture --- *)
+
+let test_cid_discipline () =
+  check_ids "poly = on cid fires" [ "cid-discipline" ]
+    (lint "let f cid other = cid = other");
+  check_ids "poly compare on uid field fires" [ "cid-discipline" ]
+    (lint "let f r o = compare r.uid o");
+  check_ids "Hashtbl.hash on a digest fires" [ "cid-discipline" ]
+    (lint "let f digest = Hashtbl.hash digest");
+  check_ids "Cid.equal is the fix" []
+    (lint "let f cid other = Cid.equal cid other");
+  check_ids "poly = on non-cid values is fine" [] (lint "let f a b = a = b");
+  check_ids "application results are not cid-valued" []
+    (lint "let f c mask = Cid.low_bits c land mask = 0");
+  check_ids "lucid/fluid do not match" []
+    (lint "let f lucid fluid = lucid = fluid");
+  (* inside a cid module even the eta-reduced polymorphic hash fires *)
+  check_ids "bare Hashtbl.hash in cid.ml fires" [ "cid-discipline" ]
+    (lint ~file:"lib/chunk/cid.ml" "let hash = Hashtbl.hash");
+  check_ids "bare Hashtbl.hash elsewhere is fine" []
+    (lint "let h = Hashtbl.hash")
+
+let test_syscall_discipline () =
+  check_ids "raw Unix.read in lib fires" [ "syscall-discipline" ]
+    (lint "let f fd buf = Unix.read fd buf 0 1");
+  check_ids "raw Unix.select in bin fires" [ "syscall-discipline" ]
+    (lint ~file:"bin/fixture.ml" "let f fds = Unix.select fds [] [] 1.0");
+  check_ids "the wire module is the allowlist" []
+    (lint ~file:"lib/remote/wire.ml" "let f fd buf = Unix.read fd buf 0 1");
+  check_ids "Unix.close is not a banned head" []
+    (lint "let f fd = Unix.close fd")
+
+let test_no_partial () =
+  check_ids "List.hd fires" [ "no-partial" ] (lint "let f xs = List.hd xs");
+  check_ids "Option.get passed as argument fires" [ "no-partial" ]
+    (lint "let f os = List.map Option.get os");
+  check_ids "total match is the fix" []
+    (lint "let f = function [] -> 0 | x :: _ -> x");
+  check_ids "tests are exempt" []
+    (lint ~file:"test/fixture.ml" "let f xs = List.hd xs")
+
+let test_typed_errors () =
+  check_ids "failwith fires" [ "typed-errors" ]
+    (lint "let f () = failwith \"boom\"");
+  check_ids "assert false fires" [ "typed-errors" ]
+    (lint "let f = function Some x -> x | None -> assert false");
+  check_ids "invalid_arg is the fix" []
+    (lint "let f () = invalid_arg \"boom\"");
+  check_ids "ordinary asserts are fine" [] (lint "let f n = assert (n >= 0)");
+  check_ids "tests are exempt" []
+    (lint ~file:"test/fixture.ml" "let f () = failwith \"boom\"")
+
+let test_no_swallow () =
+  check_ids "with _ fires" [ "no-swallow" ]
+    (lint "let f g = try g () with _ -> ()");
+  check_ids "exception _ match case fires" [ "no-swallow" ]
+    (lint "let f g = match g () with x -> x | exception _ -> 0");
+  check_ids "narrowed handler is the fix" []
+    (lint "let f g = try g () with Not_found -> ()");
+  check_ids "binding the exception is fine" []
+    (lint "let f g = try g () with e -> raise e")
+
+let test_dune_hygiene () =
+  let lib_dune = Some "(library\n (name foo))" in
+  check_ids "missing .mli fires" [ "dune-hygiene" ]
+    (Lint.hygiene_of_listing ~dir:"lib/foo" ~dune:lib_dune
+       ~files:[ "a.ml"; "a.mli"; "b.ml"; "dune" ]);
+  check_ids "paired .mli is clean" []
+    (Lint.hygiene_of_listing ~dir:"lib/foo" ~dune:lib_dune
+       ~files:[ "a.ml"; "a.mli"; "dune" ]);
+  check_ids "relaxed -w flag fires" [ "dune-hygiene" ]
+    (Lint.hygiene_of_listing ~dir:"lib/foo"
+       ~dune:(Some "(library (name foo) (flags (:standard -w -a)))")
+       ~files:[ "a.ml"; "a.mli"; "dune" ]);
+  check_ids "strict -w spec is clean" []
+    (Lint.hygiene_of_listing ~dir:"lib/foo"
+       ~dune:(Some "(library (name foo) (flags (:standard -w +a-4)))")
+       ~files:[ "a.ml"; "a.mli"; "dune" ]);
+  check_ids "executable dirs need no .mli" []
+    (Lint.hygiene_of_listing ~dir:"bin"
+       ~dune:(Some "(executable (name cli))")
+       ~files:[ "cli.ml"; "dune" ]);
+  check_ids "test dirs are exempt" []
+    (Lint.hygiene_of_listing ~dir:"test" ~dune:lib_dune
+       ~files:[ "t.ml"; "dune" ])
+
+let test_parse_error () =
+  match lint "let let let" with
+  | [ f ] ->
+      Alcotest.(check string) "parse-error id" "parse-error"
+        (Finding.rule_id f.Finding.rule)
+  | fs -> Alcotest.failf "expected one parse-error, got %d findings" (List.length fs)
+
+(* --- suppressions --- *)
+
+let test_suppressions () =
+  check_ids "same-line suppression" []
+    (lint "let f xs = List.hd xs (* lint: allow no-partial *)");
+  check_ids "previous-line suppression" []
+    (lint "(* lint: allow no-partial *)\nlet f xs = List.hd xs");
+  check_ids "wrong rule does not hide" [ "no-partial" ]
+    (lint "let f xs = List.hd xs (* lint: allow typed-errors *)");
+  check_ids "two lines above does not hide" [ "no-partial" ]
+    (lint "(* lint: allow no-partial *)\n\nlet f xs = List.hd xs");
+  check_ids "unknown rule is itself a finding" [ "lint-usage"; "no-partial" ]
+    (lint "let f xs = List.hd xs (* lint: allow no-such-rule *)");
+  check_ids "empty suppression is itself a finding" [ "lint-usage" ]
+    (lint "let f x = x (* lint: allow *)");
+  (* one annotation can cover two rules firing on the same line *)
+  check_ids "multi-rule suppression" []
+    (lint
+       "(* lint: allow no-partial typed-errors *)\n\
+        let f = function [] -> failwith \"no\" | xs -> List.hd xs")
+
+(* --- baseline --- *)
+
+let test_baseline_roundtrip () =
+  let two = lint "let f xs = List.hd xs\nlet g xs = List.nth xs 3" in
+  Alcotest.(check int) "fixture has two findings" 2 (List.length two);
+  let baseline = Baseline.of_string (Baseline.render two) in
+  check_ids "rendered baseline covers its own findings" []
+    (Baseline.filter_new baseline two);
+  let three =
+    lint "let f xs = List.hd xs\nlet g xs = List.nth xs 3\nlet h o = Option.get o"
+  in
+  check_ids "finding beyond the budget is new" [ "no-partial" ]
+    (Baseline.filter_new baseline three);
+  (* count-based matching survives line churn: same two findings shifted *)
+  let shifted = lint "\n\n\nlet f xs = List.hd xs\nlet g xs = List.nth xs 3" in
+  check_ids "baseline is line-number independent" []
+    (Baseline.filter_new baseline shifted);
+  check_ids "missing baseline file is empty" [ "no-partial"; "no-partial" ]
+    (Baseline.filter_new (Baseline.load "no-such-baseline-file.txt") two);
+  (* comments and malformed lines never crash the gate *)
+  let messy = Baseline.of_string "# comment\n\nbogus line\nno-partial lib/fixture.ml 2\n" in
+  check_ids "messy baseline still parses" [] (Baseline.filter_new messy two)
+
+(* --- the walker --- *)
+
+let temp_dir () =
+  let path = Filename.temp_file "lint_walk" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let write_file path text =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc text)
+
+let test_walker () =
+  let root = temp_dir () in
+  let lib = Filename.concat root "lib" in
+  Unix.mkdir lib 0o755;
+  Unix.mkdir (Filename.concat lib "sub") 0o755;
+  Unix.mkdir (Filename.concat lib "_build") 0o755;
+  Unix.mkdir (Filename.concat lib ".git") 0o755;
+  write_file (Filename.concat lib "sub/x.ml") "let f xs = List.hd xs";
+  write_file (Filename.concat lib "_build/skip.ml") "let f xs = List.hd xs";
+  write_file (Filename.concat lib ".git/skip.ml") "let f xs = List.hd xs";
+  write_file (Filename.concat lib "notes.txt") "List.hd everywhere";
+  let findings = Lint.collect [ lib ] in
+  check_ids "only the real module is linted" [ "no-partial" ] findings;
+  (match findings with
+  | [ f ] ->
+      Alcotest.(check string) "scope is repo-relative" "lib/sub/x.ml"
+        f.Finding.scope
+  | _ -> Alcotest.fail "expected exactly one finding");
+  check_ids "nonexistent path is a finding, not a crash" [ "parse-error" ]
+    (Lint.collect [ Filename.concat root "no-such-dir" ])
+
+(* --- acceptance: the live tree is clean under the checked-in baseline --- *)
+
+let test_live_tree_clean () =
+  (* cwd is test/ under `dune runtest`, the repo root under `dune exec` *)
+  let at_root name =
+    let up = Filename.concat ".." name in
+    if Sys.file_exists up then up else name
+  in
+  let baseline = Baseline.load (at_root "lint-baseline.txt") in
+  match Lint.run ~baseline [ at_root "lib"; at_root "bin" ] with
+  | [] -> ()
+  | findings ->
+      Alcotest.failf "live tree has %d new lint findings:\n%s"
+        (List.length findings)
+        (String.concat "\n" (List.map Finding.to_string findings))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "cid-discipline" `Quick test_cid_discipline;
+          Alcotest.test_case "syscall-discipline" `Quick test_syscall_discipline;
+          Alcotest.test_case "no-partial" `Quick test_no_partial;
+          Alcotest.test_case "typed-errors" `Quick test_typed_errors;
+          Alcotest.test_case "no-swallow" `Quick test_no_swallow;
+          Alcotest.test_case "dune-hygiene" `Quick test_dune_hygiene;
+          Alcotest.test_case "parse-error" `Quick test_parse_error;
+        ] );
+      ( "mechanism",
+        [
+          Alcotest.test_case "suppressions" `Quick test_suppressions;
+          Alcotest.test_case "baseline roundtrip" `Quick test_baseline_roundtrip;
+          Alcotest.test_case "walker" `Quick test_walker;
+        ] );
+      ( "acceptance",
+        [ Alcotest.test_case "live tree lints clean" `Quick test_live_tree_clean ] );
+    ]

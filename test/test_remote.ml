@@ -334,7 +334,7 @@ let test_idle_timeout () =
   Unix.sleepf 0.9;
   (* the idle connection was reaped server-side *)
   (match Client.get idle ~key:"k" with
-  | exception Failure _ -> ()
+  | exception Client.Disconnected -> ()
   | _ -> Alcotest.fail "idle connection should be closed");
   Client.close idle;
   let fresh = Client.connect ~retries:5 ~port () in

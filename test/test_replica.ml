@@ -270,8 +270,10 @@ let random_wire_op rng c i =
         ignore
           (Client.put c ~branch ~key (Wire.List [ key; branch; string_of_int i ])
             : Cid.t)
-  with Failure _ -> (* unknown branch / existing branch: legitimate refusals *)
-                    ()
+  with
+  | Client.Remote_failure _ ->
+      (* unknown branch / existing branch: legitimate refusals *)
+      ()
 
 (* Every branch head the primary reports must be the follower's head too,
    resolvable and hash-verified in the follower's own store. *)
