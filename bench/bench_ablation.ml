@@ -40,6 +40,13 @@ let ablation_fixed scale =
             Bench_util.time_it (fun () -> Fblob.insert blob ~pos ins)
           in
           let after = store.Store.stats () in
+          Bench_json.metric
+            ~name:(Printf.sprintf "%s_%s_new_bytes" label op)
+            ~value:(float_of_int (after.Store.bytes - bytes0))
+            ~unit:"bytes";
+          Bench_json.metric
+            ~name:(Printf.sprintf "%s_%s_latency" label op)
+            ~value:(elapsed *. 1000.) ~unit:"ms";
           Bench_util.row
             [
               label; op;
@@ -87,6 +94,12 @@ let ablation_rolling scale =
             | Workload.Text_edit.Insert (pos, text) -> Fblob.insert blob ~pos text))
         edits;
       let growth = (store.Store.stats ()).Store.bytes - base_bytes in
+      Bench_json.metric
+        ~name:(label ^ "_build_latency")
+        ~value:(build_ms *. 1000.) ~unit:"ms";
+      Bench_json.metric
+        ~name:(label ^ "_20_edit_growth")
+        ~value:(float_of_int growth) ~unit:"bytes";
       Bench_util.row
         [
           label;
@@ -119,6 +132,12 @@ let ablation_chunk_size scale =
             Fblob.overwrite blob ~pos:(String.length content / 3) "EDITEDEDITED")
       in
       let growth = (store.Store.stats ()).Store.bytes - base in
+      Bench_json.metric
+        ~name:(Printf.sprintf "leaf_bits_%d_storage" bits)
+        ~value:(float_of_int base) ~unit:"bytes";
+      Bench_json.metric
+        ~name:(Printf.sprintf "leaf_bits_%d_edit_growth" bits)
+        ~value:(float_of_int growth) ~unit:"bytes";
       Bench_util.row
         [
           string_of_int bits;
@@ -155,6 +174,12 @@ let ablation_delta scale =
     ignore (Deltastore.Delta_store.commit delta ~key:"doc" !content)
   done;
   let uid_array = Array.of_list (List.rev !all_versions) in
+  Bench_json.metric ~name:"pos_tree_storage"
+    ~value:(float_of_int (store.Store.stats ()).Store.bytes)
+    ~unit:"bytes";
+  Bench_json.metric ~name:"delta_chain_storage"
+    ~value:(float_of_int (Deltastore.Delta_store.storage_bytes delta))
+    ~unit:"bytes";
   Printf.printf "storage for %d versions: pos-tree %s, delta chains %s\n%!"
     versions
     (Bench_util.human_bytes (store.Store.stats ()).Store.bytes)
@@ -178,6 +203,12 @@ let ablation_delta scale =
           ignore (Deltastore.Delta_store.get delta ~key:"doc" ~version:v)
         done)
   in
+  Bench_json.metric ~name:"pos_tree_version_read"
+    ~value:(pos_time /. float_of_int reads *. 1000.0)
+    ~unit:"ms";
+  Bench_json.metric ~name:"delta_chain_version_read"
+    ~value:(delta_time /. float_of_int reads *. 1000.0)
+    ~unit:"ms";
   Printf.printf
     "random version reads (%d): pos-tree %.2f ms/read, delta %.2f ms/read (%d replays)\n%!"
     reads

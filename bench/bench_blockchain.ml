@@ -35,7 +35,7 @@ let run_workload ?(block_size = 50) ~updates backend =
 
 let p95 latencies =
   let sorted = Array.copy latencies in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   if Array.length sorted = 0 then nan
   else Bench_util.percentile sorted 0.95
 
@@ -55,6 +55,16 @@ let fig9 scale =
         (fun (kind, name) ->
           let backend = mk_backend kind in
           let chain = run_workload ~updates backend in
+          List.iter
+            (fun (op, lats) ->
+              Bench_json.metric
+                ~name:(Printf.sprintf "%s_%d_%s_p95" name updates op)
+                ~value:(p95 lats *. 1000.) ~unit:"ms")
+            [
+              ("read", B.Chain.read_latencies chain);
+              ("write", B.Chain.write_latencies chain);
+              ("commit", B.Chain.commit_latencies chain);
+            ];
           Bench_util.row
             [
               string_of_int updates;
@@ -92,6 +102,9 @@ let fig10 scale =
           let txns = float_of_int (2 * updates) in
           let total = elapsed +. (txns *. exec_cost_per_txn) in
           ignore chain;
+          Bench_json.metric
+            ~name:(Printf.sprintf "%s_%d_tput" name updates)
+            ~value:(txns /. total) ~unit:"txn/s";
           Bench_util.row
             [ string_of_int updates; name; Printf.sprintf "%.0f" (txns /. total) ])
         backend_names)
@@ -156,7 +169,18 @@ let fig11 scale =
         :: List.map
              (fun (_, lats) -> Bench_util.ms (Bench_util.percentile lats p))
              series))
-    [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99 ]
+    [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99 ];
+  List.iter
+    (fun (name, lats) ->
+      Bench_json.metric
+        ~name:(name ^ "_commit_p50")
+        ~value:(Bench_util.percentile lats 0.5 *. 1000.)
+        ~unit:"ms";
+      Bench_json.metric
+        ~name:(name ^ "_commit_p99")
+        ~value:(Bench_util.percentile lats 0.99 *. 1000.)
+        ~unit:"ms")
+    series
 
 (* SmallBank macro workload (Blockbench [23]): throughput of a contract
    whose transactions touch one or two accounts each, across the three
@@ -190,6 +214,9 @@ let smallbank scale =
         B.Smallbank.total_funds backend ~accounts:(Array.to_list names)
         = accounts * 2 * 1_000
       in
+      Bench_json.metric ~name:(name ^ "_tput")
+        ~value:(float_of_int ops /. elapsed)
+        ~unit:"ops/s";
       Bench_util.row
         [
           name; string_of_int ops;
@@ -247,6 +274,9 @@ let fig12 scale =
                 Bench_util.time_it (fun () ->
                     backend.B.Backend.state_scan ~contract:"kv" ~keys)
               in
+              Bench_json.metric
+                ~name:(Printf.sprintf "%s_state_scan_%d_keys_%d" name num_keys x)
+                ~value:(t *. 1000.) ~unit:"ms";
               Bench_util.row [ string_of_int x; name; Bench_util.ms t ])
             setups)
         xs;
@@ -265,6 +295,9 @@ let fig12 scale =
               let t, _ =
                 Bench_util.time_it (fun () -> backend.B.Backend.block_scan ~height:h)
               in
+              Bench_json.metric
+                ~name:(Printf.sprintf "%s_block_scan_%d_keys_%d" name num_keys h)
+                ~value:(t *. 1000.) ~unit:"ms";
               Bench_util.row [ string_of_int h; name; Bench_util.ms t ])
             setups)
         heights)

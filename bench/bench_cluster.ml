@@ -51,6 +51,10 @@ let fig8 scale =
                           (Printf.sprintf "key-%d" i));
                   }
               in
+              Bench_json.metric
+                ~name:
+                  (Printf.sprintf "%s_%dB_%d_nodes_tput" op size nodes)
+                ~value:r.Fbcluster.Event_sim.throughput ~unit:"ops/s";
               Bench_util.row
                 [
                   string_of_int nodes;
@@ -69,7 +73,7 @@ let fig15 scale =
   let nodes = 16 in
   let pages = Bench_util.pick scale 400 3_200 in
   let requests = Bench_util.pick scale 3_000 120_000 in
-  let run mode label =
+  let run mode label metric_prefix =
     let cluster = Fbcluster.Cluster.create ~n:nodes mode in
     let rng = Fbutil.Splitmix.create 41L in
     let zipf = Workload.Zipf.create ~n:pages ~theta:0.5 in
@@ -97,7 +101,13 @@ let fig15 scale =
     Array.iteri
       (fun i b -> Bench_util.row [ string_of_int i; Bench_util.human_bytes b ])
       dist;
+    Bench_json.metric
+      ~name:(metric_prefix ^ "_imbalance")
+      ~value:(Fbcluster.Cluster.imbalance cluster)
+      ~unit:"max/mean";
     Printf.printf "imbalance (max/mean): %.2f\n%!" (Fbcluster.Cluster.imbalance cluster)
   in
-  run Fbcluster.Cluster.One_layer "ForkBase_1LP (page content stored locally)";
+  run Fbcluster.Cluster.One_layer "ForkBase_1LP (page content stored locally)"
+    "one_layer";
   run Fbcluster.Cluster.Two_layer "ForkBase_2LP (chunks partitioned by cid)"
+    "two_layer"

@@ -77,6 +77,10 @@ let table3 _scale =
     (fun op ->
       let find label = List.assoc op (List.assoc label results) in
       let ns1 = find "1KB" and ns20 = find "20KB" in
+      Bench_json.metric ~name:(op ^ "_1KB_latency") ~value:(ns1 /. 1e3)
+        ~unit:"us";
+      Bench_json.metric ~name:(op ^ "_20KB_latency") ~value:(ns20 /. 1e3)
+        ~unit:"us";
       Bench_util.row
         [
           op;
@@ -141,6 +145,10 @@ let table4 _scale =
   List.iter
     (fun comp ->
       let find label = List.assoc comp (List.assoc label results) in
+      Bench_json.metric ~name:(comp ^ "_1KB") ~value:(find "1KB" /. 1000.0)
+        ~unit:"us";
+      Bench_json.metric ~name:(comp ^ "_20KB") ~value:(find "20KB" /. 1000.0)
+        ~unit:"us";
       Bench_util.row
         [
           comp;

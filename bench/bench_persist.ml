@@ -42,14 +42,21 @@ let durability scale =
         fill db n)
   in
   U.row [ "in-memory"; Printf.sprintf "%.0f" (float_of_int n /. elapsed) ];
+  Bench_json.metric ~name:"in_memory_puts_per_sec"
+    ~value:(float_of_int n /. elapsed) ~unit:"ops/s";
   List.iter
-    (fun (label, journal_sync_every) ->
+    (fun (label, metric_name, journal_sync_every) ->
       with_temp_dir @@ fun dir ->
       let p = Persist.open_db ~journal_sync_every dir in
       let elapsed, () = U.time_it (fun () -> fill (Persist.db p) n) in
       U.row [ label; Printf.sprintf "%.0f" (float_of_int n /. elapsed) ];
+      Bench_json.metric ~name:metric_name
+        ~value:(float_of_int n /. elapsed) ~unit:"ops/s";
       Persist.close p)
-    [ ("journal, fsync per op", 1); ("journal, fsync per 64 ops", 64) ];
+    [
+      ("journal, fsync per op", "journal_fsync_per_op_puts_per_sec", 1);
+      ("journal, fsync per 64 ops", "journal_fsync_per_64_puts_per_sec", 64);
+    ];
 
   U.section "Recovery time (reopen + journal replay)";
   with_temp_dir @@ fun dir ->
@@ -64,6 +71,10 @@ let durability scale =
       U.human_bytes (Persist.journal_size p2);
       U.ms t_replay ^ "ms";
     ];
+  Bench_json.metric ~name:"reopen_replay" ~value:(t_replay *. 1000.) ~unit:"ms";
+  Bench_json.metric ~name:"journal_bytes"
+    ~value:(float_of_int (Persist.journal_size p2))
+    ~unit:"bytes";
   Persist.checkpoint p2;
   Persist.close p2;
   let t_ckpt, p3 = U.time_it (fun () -> Persist.open_db dir) in
@@ -73,6 +84,8 @@ let durability scale =
       U.human_bytes (Persist.journal_size p3);
       U.ms t_ckpt ^ "ms";
     ];
+  Bench_json.metric ~name:"reopen_after_checkpoint" ~value:(t_ckpt *. 1000.)
+    ~unit:"ms";
 
   U.section "Online compaction";
   (* orphan value trees (aborted operations) to create garbage *)
@@ -96,4 +109,7 @@ let durability scale =
       U.human_bytes (Persist.chunk_log_size p3);
       U.ms t_compact ^ "ms";
     ];
+  Bench_json.metric ~name:"compact_time" ~value:(t_compact *. 1000.) ~unit:"ms";
+  Bench_json.metric ~name:"compact_reclaimed_bytes"
+    ~value:(float_of_int reclaimed_bytes) ~unit:"bytes";
   Persist.close p3

@@ -6,6 +6,20 @@
 module Server = Fbremote.Server
 module Client = Fbremote.Client
 module Wire = Fbremote.Wire
+module Persist = Fbpersist.Persist
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fbbench-remote-%d-%d" (Unix.getpid ())
+         (Random.int 1_000_000))
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
 
 let spawn_server () =
   let listen_fd = Server.listen ~backlog:64 ~port:0 () in
@@ -14,6 +28,32 @@ let spawn_server () =
   | 0 ->
       let db = Forkbase.Db.create (Fbchunk.Chunk_store.mem_store ()) in
       (try ignore (Server.serve db listen_fd : Server.counters) with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close listen_fd;
+      (port, pid)
+
+(* A server over a durable store with per-op journal fsyncs, optionally
+   batching them via the event loop's group commit.  Either way every
+   acknowledged put is power-loss durable before its ack leaves. *)
+let spawn_durable_server ~dir ~group_commit () =
+  let listen_fd = Server.listen ~backlog:64 ~port:0 () in
+  let port = Server.bound_port listen_fd in
+  match Unix.fork () with
+  | 0 ->
+      let p = Persist.open_db ~journal_sync_every:1 dir in
+      let gc =
+        if group_commit then begin
+          Persist.set_deferred_sync p true;
+          Some (fun () -> Persist.sync p)
+        end
+        else None
+      in
+      (try
+         ignore (Server.serve ?group_commit:gc (Persist.db p) listen_fd
+                 : Server.counters)
+       with _ -> ());
+      (try Persist.close p with _ -> ());
       Unix._exit 0
   | pid ->
       Unix.close listen_fd;
@@ -56,6 +96,44 @@ let run_experiment ~clients ~total_ops ~value_size =
   let done_ops = clients * (ops / 2) * 2 in
   (float_of_int done_ops /. elapsed, stats)
 
+(* Durable-write throughput: [clients] concurrent writers, every put
+   journaled and fsynced before its ack.  Compares per-op fsync against
+   group commit (one fsync per event-loop round, shared by the round's
+   writers). *)
+let run_durable ~clients ~total_ops ~value_size ~group_commit =
+  with_temp_dir @@ fun dir ->
+  let port, server_pid = spawn_durable_server ~dir ~group_commit () in
+  let ops = total_ops / clients in
+  let elapsed, () =
+    Bench_util.time_it (fun () ->
+        let pids =
+          List.init clients (fun id ->
+              match Unix.fork () with
+              | 0 ->
+                  (try
+                     let c = Client.connect ~retries:20 ~port () in
+                     let key = Printf.sprintf "bench-%d" id in
+                     let payload = String.make value_size 'x' in
+                     for i = 1 to ops do
+                       let (_ : Fbchunk.Cid.t) =
+                         Client.put c ~key (Wire.Str (payload ^ string_of_int i))
+                       in
+                       ()
+                     done;
+                     Client.close c
+                   with _ -> ());
+                  Unix._exit 0
+              | pid -> pid)
+        in
+        List.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids)
+  in
+  let c = Client.connect ~retries:20 ~port () in
+  let stats = Client.stats c in
+  Client.quit_server c;
+  Client.close c;
+  ignore (Unix.waitpid [] server_pid);
+  (float_of_int (clients * ops) /. elapsed, stats)
+
 let remote scale =
   Bench_util.section
     "Remote serving: multi-client throughput (select event loop)";
@@ -66,6 +144,9 @@ let remote scale =
   List.iter
     (fun clients ->
       let throughput, s = run_experiment ~clients ~total_ops ~value_size in
+      Bench_json.metric
+        ~name:(Printf.sprintf "in_memory_%d_clients_tput" clients)
+        ~value:throughput ~unit:"ops/s";
       Bench_util.row
         [
           string_of_int clients;
@@ -74,4 +155,41 @@ let remote scale =
           string_of_int s.Wire.frames_in;
           string_of_int s.Wire.closed_err;
         ])
-    [ 1; 4; 16 ]
+    [ 1; 4; 16 ];
+
+  Bench_util.section
+    "Durable writes: per-op fsync vs group commit (8 concurrent writers)";
+  let clients = 8 in
+  let durable_ops = Bench_util.pick scale 2_000 16_000 in
+  Bench_util.row_header
+    [ "mode"; "puts/s"; "group_commits"; "acks/sync" ];
+  let baseline, _ =
+    run_durable ~clients ~total_ops:durable_ops ~value_size
+      ~group_commit:false
+  in
+  Bench_util.row
+    [ "fsync per op"; Printf.sprintf "%.0f" baseline; "0"; "-" ];
+  Bench_json.metric ~name:"durable_8_clients_per_op_fsync_tput"
+    ~value:baseline ~unit:"ops/s";
+  let grouped, s =
+    run_durable ~clients ~total_ops:durable_ops ~value_size ~group_commit:true
+  in
+  let acks_per_sync =
+    if s.Wire.group_commits = 0 then 0.
+    else float_of_int s.Wire.acks_released /. float_of_int s.Wire.group_commits
+  in
+  Bench_util.row
+    [
+      "group commit";
+      Printf.sprintf "%.0f" grouped;
+      string_of_int s.Wire.group_commits;
+      Printf.sprintf "%.2f" acks_per_sync;
+    ];
+  Bench_json.metric ~name:"durable_8_clients_group_commit_tput" ~value:grouped
+    ~unit:"ops/s";
+  Bench_json.metric ~name:"group_commit_speedup" ~value:(grouped /. baseline)
+    ~unit:"x";
+  Bench_json.metric ~name:"group_commit_acks_per_sync" ~value:acks_per_sync
+    ~unit:"acks/fsync";
+  Printf.printf "group commit speedup over per-op fsync: %.2fx\n%!"
+    (grouped /. baseline)

@@ -103,6 +103,12 @@ let catch_up scale =
         Replica.sync_until_caught_up ~max_rounds:100_000 f)
   in
   let k = Replica.counters f in
+  Bench_json.metric ~name:"catch_up_entries_per_sec"
+    ~value:(float_of_int k.Replica.entries_applied /. elapsed)
+    ~unit:"entries/s";
+  Bench_json.metric ~name:"catch_up_chunks_fetched"
+    ~value:(float_of_int k.Replica.chunks_fetched)
+    ~unit:"chunks";
   Bench_util.row
     [
       string_of_int ops;
@@ -172,6 +178,10 @@ let read_scaling scale =
   List.iter
     (fun ports ->
       let throughput = run_readers ~ports ~readers ~total_ops in
+      Bench_json.metric
+        ~name:
+          (Printf.sprintf "read_scaling_%d_servers_tput" (List.length ports))
+        ~value:throughput ~unit:"ops/s";
       Bench_util.row
         [
           string_of_int (List.length ports);

@@ -1,0 +1,33 @@
+(* A deliberately tiny experiment exercising the whole reporting path —
+   db operations, timing, Bench_json metrics — in well under a second.
+   The runtest smoke test runs `main.exe smoke --json-dir …` and validates
+   the emitted JSON, so the harness itself is CI-covered without paying
+   for a real experiment. *)
+
+let smoke scale =
+  Bench_util.section "Smoke: reporter self-check";
+  let ops = Bench_util.pick scale 200 1000 in
+  let db = Forkbase.Db.create (Fbchunk.Chunk_store.mem_store ()) in
+  let elapsed, () =
+    Bench_util.time_it (fun () ->
+        for i = 1 to ops do
+          ignore
+            (Forkbase.Db.put db ~key:"smoke"
+               (Forkbase.Db.str (string_of_int i)))
+        done)
+  in
+  let put_s = float_of_int ops /. elapsed in
+  let lat = List.init ops (fun i -> float_of_int (i + 1)) in
+  let sorted = Bench_util.sorted_of_list lat in
+  Bench_util.row_header [ "ops"; "puts/s"; "p99(synthetic)" ];
+  Bench_util.row
+    [
+      string_of_int ops;
+      Printf.sprintf "%.0f" put_s;
+      Printf.sprintf "%.1f" (Bench_util.percentile sorted 0.99);
+    ];
+  Bench_json.metric ~name:"puts_per_sec" ~value:put_s ~unit:"ops/s";
+  Bench_json.metric ~name:"put_ops" ~value:(float_of_int ops) ~unit:"ops";
+  Bench_json.metric ~name:"synthetic_p99"
+    ~value:(Bench_util.percentile sorted 0.99)
+    ~unit:"rank"

@@ -40,6 +40,12 @@ let fig16 scale =
         Bench_util.time_it (fun () -> Row.update db ~name:"ds" updated)
       in
       let fb_inc = ((Db.store db).Store.stats ()).Store.bytes - fb_before in
+      Bench_json.metric
+        ~name:(Printf.sprintf "ForkBase_update_%dpct_latency" pct)
+        ~value:(fb_time *. 1000.) ~unit:"ms";
+      Bench_json.metric
+        ~name:(Printf.sprintf "ForkBase_update_%dpct_space_inc" pct)
+        ~value:(float_of_int fb_inc) ~unit:"bytes";
       Bench_util.row
         [
           string_of_int pct; "ForkBase"; Bench_util.ms fb_time;
@@ -56,6 +62,9 @@ let fig16 scale =
       in
       parent := new_version;
       let o_inc = Orpheus.storage_bytes o - o_before in
+      Bench_json.metric
+        ~name:(Printf.sprintf "OrpheusDB_update_%dpct_latency" pct)
+        ~value:(o_time *. 1000.) ~unit:"ms";
       Bench_util.row
         [
           string_of_int pct; "OrpheusDB"; Bench_util.ms o_time;
@@ -90,6 +99,9 @@ let fig17a scale =
       let fb_time, fb_diffs =
         Bench_util.time_it (fun () -> Row.diff_count t0 t1)
       in
+      Bench_json.metric
+        ~name:(Printf.sprintf "ForkBase_diff_%dpct_latency" pct)
+        ~value:(fb_time *. 1000.) ~unit:"ms";
       Bench_util.row
         [ string_of_int pct; "ForkBase"; Bench_util.ms fb_time; string_of_int fb_diffs ];
       let working = Orpheus.checkout o ov0 in
@@ -98,6 +110,9 @@ let fig17a scale =
       let o_time, o_diffs =
         Bench_util.time_it (fun () -> Orpheus.diff_versions o ov0 ov1)
       in
+      Bench_json.metric
+        ~name:(Printf.sprintf "OrpheusDB_diff_%dpct_latency" pct)
+        ~value:(o_time *. 1000.) ~unit:"ms";
       Bench_util.row
         [ string_of_int pct; "OrpheusDB"; Bench_util.ms o_time; string_of_int o_diffs ])
     [ 0; 1; 2; 4; 8 ]
@@ -125,6 +140,12 @@ let fig17b scale =
       let t_col, s_col = Bench_util.time_it (fun () -> Col.sum_qty col_table) in
       let t_row, s_row = Bench_util.time_it (fun () -> Row.sum_qty row_table) in
       let t_o, s_o = Bench_util.time_it (fun () -> Orpheus.sum_qty o ov) in
+      List.iter
+        (fun (sys, t) ->
+          Bench_json.metric
+            ~name:(Printf.sprintf "%s_sum_%d_latency" sys n)
+            ~value:(t *. 1000.) ~unit:"ms")
+        [ ("ForkBase-COL", t_col); ("ForkBase-ROW", t_row); ("OrpheusDB", t_o) ];
       Bench_util.row
         [ string_of_int n; "ForkBase-COL"; Bench_util.ms t_col; string_of_int s_col ];
       Bench_util.row

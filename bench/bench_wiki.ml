@@ -73,6 +73,14 @@ let fig13 scale =
           let total =
             compute +. (float_of_int (downloaded + uploaded) *. net_seconds_per_byte)
           in
+          Bench_json.metric
+            ~name:(Printf.sprintf "%s_%s_tput" e.Wiki.name ratio_name)
+            ~value:(float_of_int requests /. total)
+            ~unit:"req/s";
+          Bench_json.metric
+            ~name:(Printf.sprintf "%s_%s_storage" e.Wiki.name ratio_name)
+            ~value:(float_of_int (e.Wiki.storage_bytes ()))
+            ~unit:"bytes";
           Bench_util.row
             [
               e.Wiki.name;
@@ -139,12 +147,15 @@ let fig14 scale =
         let total = !compute +. (float_of_int !transferred *. net_seconds_per_byte) in
         float_of_int (explorations * track) /. total
       in
+      let fb = run (fun () -> Wiki.forkbase_client server) in
+      let rd = run (fun () -> redis) in
+      Bench_json.metric
+        ~name:(Printf.sprintf "ForkBase_track_%d_tput" track)
+        ~value:fb ~unit:"reads/s";
+      Bench_json.metric
+        ~name:(Printf.sprintf "Redis_track_%d_tput" track)
+        ~value:rd ~unit:"reads/s";
       Bench_util.row
-        [
-          string_of_int track;
-          "ForkBase";
-          Printf.sprintf "%.0f" (run (fun () -> Wiki.forkbase_client server));
-        ];
-      Bench_util.row
-        [ string_of_int track; "Redis"; Printf.sprintf "%.0f" (run (fun () -> redis)) ])
+        [ string_of_int track; "ForkBase"; Printf.sprintf "%.0f" fb ];
+      Bench_util.row [ string_of_int track; "Redis"; Printf.sprintf "%.0f" rd ])
     [ 1; 2; 3; 4; 5; 6 ]

@@ -11,14 +11,24 @@ type t = {
   mutable tail : int; (* logical end of log *)
 }
 
-(* Read one varint from [ic]; None at clean EOF. *)
+(* Read one varint from [ic]; None at clean EOF.  Bounded like
+   {!Fbutil.Codec.read_varint}: a header whose continuation bits run past
+   shift 56, or that decodes negative, cannot be a record length — without
+   the bound a corrupt header can decode to a negative length that slips
+   past the torn-tail guard and crashes [Bytes.create] with
+   [Invalid_argument] instead of reporting corruption. *)
 let read_varint_opt ic =
   match input_char ic with
   | exception End_of_file -> None
   | c0 ->
       let rec loop shift acc b =
         let acc = acc lor ((b land 0x7f) lsl shift) in
-        if b land 0x80 = 0 then acc
+        if b land 0x80 = 0 then
+          if acc < 0 then
+            raise (Fbutil.Codec.Corrupt "negative varint length")
+          else acc
+        else if shift >= 56 then
+          raise (Fbutil.Codec.Corrupt "varint length too long")
         else loop (shift + 7) acc (Char.code (input_char ic))
       in
       Some (loop 0 0 (Char.code c0))
@@ -39,6 +49,10 @@ let replay t =
     match read_varint_opt t.ic with
     | None -> torn ()
     | exception End_of_file -> torn () (* tail torn mid-header *)
+    | exception Fbutil.Codec.Corrupt reason ->
+        (* A complete-but-implausible header is bit rot, not a torn tail:
+           fail loudly like a rotten record body. *)
+        raise (Corrupt_log { file = t.file; off = record_start; reason })
     | Some len ->
         (* A length overrunning the file is a torn tail; detecting it here
            keeps a corrupt varint from forcing a giant allocation. *)

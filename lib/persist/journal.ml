@@ -118,14 +118,22 @@ let frame ~seq records =
   Buffer.add_string buf body;
   Buffer.contents buf
 
-(* Read one varint from [ic]; None at (possibly torn) EOF. *)
+(* Read one varint from [ic]; None at (possibly torn) EOF.  Bounded like
+   {!Fbutil.Codec.read_varint}: continuation bits running past shift 56,
+   or a negative decode, cannot be an entry length — unbounded, a corrupt
+   header decodes to a negative length that crashes [Bytes.create] with
+   [Invalid_argument] instead of raising typed corruption. *)
 let read_varint_opt ic =
   match input_char ic with
   | exception End_of_file -> None
   | c0 -> (
       let rec loop shift acc b =
         let acc = acc lor ((b land 0x7f) lsl shift) in
-        if b land 0x80 = 0 then Some acc
+        if b land 0x80 = 0 then
+          if acc < 0 then raise (Codec.Corrupt "journal: negative entry length")
+          else Some acc
+        else if shift >= 56 then
+          raise (Codec.Corrupt "journal: entry length varint too long")
         else
           match input_char ic with
           | exception End_of_file -> None
@@ -147,15 +155,20 @@ let scan path =
     | None ->
         tail := start;
         continue := false
-    | Some len -> (
-        let body = Bytes.create len in
-        match really_input ic body 0 len with
-        | exception End_of_file ->
-            tail := start;
-            continue := false
-        | () ->
-            entries := decode_entry (Bytes.unsafe_to_string body) :: !entries;
-            tail := pos_in ic)
+    | Some len ->
+        (* A length overrunning the file is a torn tail; checking before
+           allocating also keeps a corrupt (huge) length from forcing a
+           giant [Bytes.create]. *)
+        if len > in_channel_length ic - pos_in ic then begin
+          tail := start;
+          continue := false
+        end
+        else begin
+          let body = Bytes.create len in
+          really_input ic body 0 len;
+          entries := decode_entry (Bytes.unsafe_to_string body) :: !entries;
+          tail := pos_in ic
+        end
   done;
   (List.rev !entries, !tail)
 

@@ -46,9 +46,26 @@ type t = {
   mutable journal : Journal.t;
   chunk_sync_every : int;
   journal_sync_every : int;
+  mutable deferred_sync : bool;
   mutable unsynced_ops : int;
   mutable seq : int;  (* sequence of the last committed journal entry *)
 }
+
+(* Renames only become durable once the containing directory's entry list
+   is on disk: fsync the directory after every tmp-over-live rename, or a
+   power failure can resurrect the pre-rename file (and with it, state the
+   caller believed replaced). *)
+let dir_fsyncs = ref 0
+
+let fsync_dir dir =
+  let fd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.fsync fd;
+      incr dir_fsyncs)
+
+let dir_fsync_count () = !dir_fsyncs
 
 let chunk_file dir = Filename.concat dir "chunks.log"
 let journal_file dir = Filename.concat dir "branches.journal"
@@ -70,8 +87,11 @@ let on_mutation t muts =
   Journal.append t.journal ~seq:t.seq
     (List.map (fun m -> Journal.Mutation m) muts);
   t.unsynced_ops <- t.unsynced_ops + 1;
-  if t.journal_sync_every > 0 && t.unsynced_ops >= t.journal_sync_every then
-    sync t
+  if
+    (not t.deferred_sync)
+    && t.journal_sync_every > 0
+    && t.unsynced_ops >= t.journal_sync_every
+  then sync t
 
 let validate_heads db =
   let store = Db.store db in
@@ -125,19 +145,19 @@ let open_db ?cfg ?acl ?(sync_every = 512) ?(journal_sync_every = 1) ?wrap_store
       Log_store.close log;
       raise (Corrupt_db (Bad_journal { path = journal_file dir; reason }))
   in
-  replay db entries;
-  validate_heads db;
-  (* Optional deep post-recovery verification (e.g. Fbcheck.Fsck).  Runs
-     before the mutation hook is installed, so a checker that reads through
-     the store cannot journal anything. *)
-  (match recovery_check with
-  | None -> ()
-  | Some check -> (
-      try check db
-      with e ->
-        Journal.close journal;
-        Log_store.close log;
-        raise e));
+  (* Any recovery failure from here on must release both files, or every
+     failed open leaks the journal and chunk-log descriptors. *)
+  (try
+     replay db entries;
+     validate_heads db;
+     (* Optional deep post-recovery verification (e.g. Fbcheck.Fsck).  Runs
+        before the mutation hook is installed, so a checker that reads
+        through the store cannot journal anything. *)
+     match recovery_check with None -> () | Some check -> check db
+   with e ->
+     Journal.close journal;
+     Log_store.close log;
+     raise e);
   let t =
     {
       dir;
@@ -147,6 +167,7 @@ let open_db ?cfg ?acl ?(sync_every = 512) ?(journal_sync_every = 1) ?wrap_store
       journal;
       chunk_sync_every = sync_every;
       journal_sync_every;
+      deferred_sync = false;
       unsynced_ops = 0;
       (* sequences are assigned monotonically, so the last entry holds the
          store's current sequence *)
@@ -169,6 +190,7 @@ let checkpoint t =
   Journal.write_fresh tmp [ (t.seq, [ Journal.Checkpoint snaps ]) ];
   Journal.close t.journal;
   Unix.rename tmp (journal_file t.dir);
+  fsync_dir t.dir;
   let journal, _ = Journal.open_ (journal_file t.dir) in
   t.journal <- journal;
   t.unsynced_ops <- 0
@@ -191,6 +213,7 @@ let compact t =
   Log_store.close fresh;
   Log_store.close t.log;
   Unix.rename tmp (chunk_file t.dir);
+  fsync_dir t.dir;
   t.log <- Log_store.open_ ~sync_every:t.chunk_sync_every (chunk_file t.dir);
   t.set_store (Log_store.store t.log);
   checkpoint t;
@@ -226,9 +249,20 @@ let apply_replicated t ~seq records =
     replay_records t.db records;
     t.seq <- seq;
     t.unsynced_ops <- t.unsynced_ops + 1;
-    if t.journal_sync_every > 0 && t.unsynced_ops >= t.journal_sync_every then
-      sync t
+    if
+      (not t.deferred_sync)
+      && t.journal_sync_every > 0
+      && t.unsynced_ops >= t.journal_sync_every
+    then sync t
   end
+
+(* Group-commit support: with deferred sync on, [on_mutation] /
+   [apply_replicated] stop fsyncing on their own; the caller (the server's
+   event loop) batches many operations behind one explicit [sync] and only
+   acknowledges them after it.  Per-ack durability is unchanged — acks
+   just wait for the shared fsync instead of paying one each. *)
+let set_deferred_sync t v = t.deferred_sync <- v
+let unsynced_ops t = t.unsynced_ops
 
 let close t =
   sync t;

@@ -72,6 +72,29 @@ val dir : t -> string
 val sync : t -> unit
 (** Force chunk log then journal to disk (fsync). *)
 
+val set_deferred_sync : t -> bool -> unit
+(** Group-commit mode: with deferred sync on, the per-operation
+    [journal_sync_every] auto-fsync is suppressed — operations are still
+    flushed to the OS per entry (process-crash safe), but power-loss
+    durability waits for an explicit {!sync}.  The network server uses
+    this to batch many concurrent writers behind one fsync per event-loop
+    round, holding their acknowledgements until the shared {!sync}
+    returns; per-{e ack} durability is therefore unchanged.  Off by
+    default. *)
+
+val unsynced_ops : t -> int
+(** Operations journaled since the last fsync — what one {!sync} would
+    make power-loss durable. *)
+
+val fsync_dir : string -> unit
+(** fsync a directory, making previously performed renames in it durable.
+    Called internally after every tmp-over-live rename ({!checkpoint},
+    {!compact}); exposed for tests and tooling. *)
+
+val dir_fsync_count : unit -> int
+(** Process-wide count of {!fsync_dir} calls (regression hook: every
+    rename in the checkpoint/compaction paths must be followed by one). *)
+
 val checkpoint : t -> unit
 (** Snapshot all branch tables into a single-entry journal and atomically
     swap it in.  Bounds journal size and recovery replay time. *)

@@ -1,0 +1,9 @@
+(* Monotonic time for the event loop.
+
+   Idle timeouts, drain deadlines and periodic ticks must never be driven
+   by the wall clock: an NTP step backwards stalls every deadline, and a
+   step forwards mass-expires every connection at once.  CLOCK_MONOTONIC
+   (via bechamel's monotonic_clock stub — the one C binding already in the
+   build) only ever moves forward, at real-time rate. *)
+
+let monotonic () = Int64.to_float (Monotonic_clock.now ()) /. 1e9

@@ -1,0 +1,6 @@
+(** Monotonic time source for the server event loop. *)
+
+val monotonic : unit -> float
+(** Seconds on CLOCK_MONOTONIC: arbitrary epoch, never steps, never goes
+    backwards.  The default [now] source for {!Server.serve} — timeouts
+    and deadlines computed from it are immune to wall-clock (NTP) steps. *)

@@ -65,6 +65,8 @@ let stats_of_db db =
     frames_in = 0;
     frames_out = 0;
     timeouts = 0;
+    group_commits = 0;
+    acks_released = 0;
   }
 
 (* Journal access for replication, provided when the db is backed by a
@@ -166,6 +168,8 @@ type counters = {
   mutable frames_in : int;
   mutable frames_out : int;
   mutable timeouts : int;
+  mutable group_commits : int;
+  mutable acks_released : int;
 }
 
 let fresh_counters () =
@@ -177,6 +181,8 @@ let fresh_counters () =
     frames_in = 0;
     frames_out = 0;
     timeouts = 0;
+    group_commits = 0;
+    acks_released = 0;
   }
 
 type config = {
@@ -211,6 +217,10 @@ type conn = {
   mutable last_active : float;
   mutable draining : bool;
   mutable drain_reason : close_reason;
+  mutable holding : bool;
+      (* a response of this connection sits in the group-commit pending
+         queue this round; later responses must queue behind it to keep
+         per-connection request/response order *)
 }
 
 let has_output c = c.wpos < Bytes.length c.wcur || not (Queue.is_empty c.wqueue)
@@ -220,15 +230,22 @@ let drain c reason =
   c.draining <- true;
   c.drain_reason <- reason
 
-let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
-    ?(config = default_config) db listen_fd =
+(* Is this request a durable write whose acknowledgement group commit may
+   hold back until the batched fsync? *)
+let durable_write = function
+  | Wire.Put _ | Wire.Fork _ | Wire.Merge _ -> true
+  | _ -> false
+
+let serve ?checkpoint ?journal ?redirect ?group_commit ?tick
+    ?(tick_every = 0.05) ?(now = Clock.monotonic) ?(config = default_config)
+    db listen_fd =
   Wire.ignore_sigpipe ();
   Unix.set_nonblock listen_fd;
   (* Periodic work multiplexed into the event loop (a follower's
      replication sync step runs here, between request rounds, so reads
      never observe a half-applied journal entry). *)
   let next_tick =
-    ref (match tick with None -> infinity | Some _ -> Unix.gettimeofday ())
+    ref (match tick with None -> infinity | Some _ -> now ())
   in
   let k = fresh_counters () in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
@@ -249,6 +266,39 @@ let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
     k.frames_out <- k.frames_out + 1;
     Queue.push (Wire.encode_frame (Wire.encode_response resp)) c.wqueue
   in
+  (* Group commit: responses to durable writes are parked here instead of
+     being queued on their sockets; once per event-loop round a single
+     [group_commit] fsync makes the whole batch durable and every parked
+     acknowledgement is released at once.  N concurrent writers pay one
+     fsync per round instead of one each, with unchanged per-ack
+     durability (no ack leaves before its entry is on disk). *)
+  let pending : (conn * Wire.response) Queue.t = Queue.create () in
+  let release_pending () =
+    if not (Queue.is_empty pending) then begin
+      (match group_commit with Some sync -> sync () | None -> ());
+      k.group_commits <- k.group_commits + 1;
+      k.acks_released <- k.acks_released + Queue.length pending;
+      Queue.iter
+        (fun ((c : conn), resp) ->
+          c.holding <- false;
+          (* The connection may have died between park and release (reaped,
+             faulted on its write side); only enqueue on the live struct
+             still registered under this fd, not a successor that reused
+             the descriptor number. *)
+          match Hashtbl.find_opt conns c.fd with
+          | Some c' when c' == c -> enqueue_response c resp
+          | Some _ | None -> ())
+        pending;
+      Queue.clear pending
+    end
+  in
+  let park_or_respond c ~held resp =
+    if held then begin
+      c.holding <- true;
+      Queue.push (c, resp) pending
+    end
+    else enqueue_response c resp
+  in
   (* A [Stats] answer carries the live connection counters alongside the
      db-level ones. *)
   let with_counters = function
@@ -263,13 +313,15 @@ let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
             frames_in = k.frames_in;
             frames_out = k.frames_out;
             timeouts = k.timeouts;
+            group_commits = k.group_commits;
+            acks_released = k.acks_released;
           }
     | resp -> resp
   in
   let begin_shutdown () =
     if not !shutting_down then begin
       shutting_down := true;
-      shutdown_deadline := Unix.gettimeofday () +. config.drain_timeout;
+      shutdown_deadline := now () +. config.drain_timeout;
       (* stop taking input everywhere; in-flight responses still flush *)
       Hashtbl.iter (fun _ c -> if not c.draining then drain c Ok_close) conns
     end
@@ -294,19 +346,29 @@ let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
              let frame = Buffer.sub c.rbuf (!consumed + Wire.header_bytes) n in
              consumed := !consumed + Wire.header_bytes + n;
              k.frames_in <- k.frames_in + 1;
-             let response =
+             let held, response =
                match Wire.decode_request frame with
                | exception Fbutil.Codec.Corrupt msg ->
-                   Wire.Error ("bad request: " ^ msg)
+                   (c.holding, Wire.Error ("bad request: " ^ msg))
                | Wire.Quit ->
                    drain c Ok_close;
                    begin_shutdown ();
-                   Wire.Ok_unit
-               | req -> (
-                   try with_counters (handle ?checkpoint ?journal ?redirect db req)
-                   with e -> Wire.Error (Printexc.to_string e))
+                   (c.holding, Wire.Ok_unit)
+               | req ->
+                   (* Once one response of this connection is parked, every
+                      later one this round queues behind it, whatever its
+                      request type, to preserve response order. *)
+                   let held =
+                     c.holding
+                     || Option.is_some group_commit
+                        && Option.is_none redirect && durable_write req
+                   in
+                   ( held,
+                     try
+                       with_counters (handle ?checkpoint ?journal ?redirect db req)
+                     with e -> Wire.Error (Printexc.to_string e) )
              in
-             enqueue_response c response
+             park_or_respond c ~held response
        done
      with Exit -> ());
     if !consumed > 0 then begin
@@ -330,7 +392,7 @@ let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
         end
         else Some Ok_close
     | Wire.Nb_read n ->
-        c.last_active <- Unix.gettimeofday ();
+        c.last_active <- now ();
         Buffer.add_subbytes c.rbuf scratch 0 n;
         process_frames c;
         None
@@ -354,7 +416,7 @@ let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
         with
         | Wire.Nb_wrote n ->
             c.wpos <- c.wpos + n;
-            c.last_active <- Unix.gettimeofday ()
+            c.last_active <- now ()
         | Wire.Nb_blocked -> continue := false
         | Wire.Nb_write_error ->
             continue := false;
@@ -378,15 +440,16 @@ let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
               wqueue = Queue.create ();
               wcur = Bytes.create 0;
               wpos = 0;
-              last_active = Unix.gettimeofday ();
+              last_active = now ();
               draining = false;
               drain_reason = Ok_close;
+              holding = false;
             }
     done
   in
   let finished () =
     !shutting_down
-    && (Hashtbl.length conns = 0 || Unix.gettimeofday () > !shutdown_deadline)
+    && (Hashtbl.length conns = 0 || now () > !shutdown_deadline)
   in
   while not (finished ()) do
     (* During shutdown a connection with nothing left to flush is done —
@@ -399,7 +462,7 @@ let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
       in
       List.iter (fun c -> close_conn c c.drain_reason) done_
     end;
-    let now = Unix.gettimeofday () in
+    let t_now = now () in
     (* While shutting down or at the connection cap, leave the listener out
        of the read set: new clients wait in the backlog instead of being
        multiplexed. *)
@@ -417,12 +480,14 @@ let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
         else
           Hashtbl.fold
             (fun _ c acc ->
-              Float.min acc (c.last_active +. config.idle_timeout -. now))
+              Float.min acc (c.last_active +. config.idle_timeout -. t_now))
             conns infinity
       in
-      let drain = if !shutting_down then !shutdown_deadline -. now else infinity in
+      let drain =
+        if !shutting_down then !shutdown_deadline -. t_now else infinity
+      in
       let tick_in =
-        if !shutting_down then infinity else !next_tick -. now
+        if !shutting_down then infinity else !next_tick -. t_now
       in
       match Float.min (Float.min idle drain) tick_in with
       | t when t = infinity -> -1. (* block until a descriptor is ready *)
@@ -443,6 +508,11 @@ let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
                   | Some reason -> close_conn c reason
                   | None -> ()))
           readable;
+        (* All of this round's requests are handled: one fsync commits the
+           round's durable writes and releases every parked ack, before
+           the write pass so freshly released responses can go out with
+           anything already queued. *)
+        release_pending ();
         List.iter
           (fun fd ->
             match Hashtbl.find_opt conns fd with
@@ -453,22 +523,22 @@ let serve ?checkpoint ?journal ?redirect ?tick ?(tick_every = 0.05)
                 | None -> ()))
           writable;
         if config.idle_timeout > 0. then begin
-          let now = Unix.gettimeofday () in
+          let t_now = now () in
           let stale =
             Hashtbl.fold
               (fun _ c acc ->
-                if now -. c.last_active > config.idle_timeout then c :: acc
+                if t_now -. c.last_active > config.idle_timeout then c :: acc
                 else acc)
               conns []
           in
           List.iter (fun c -> close_conn c Timeout_close) stale
         end;
         (match tick with
-        | Some f when (not !shutting_down) && Unix.gettimeofday () >= !next_tick ->
+        | Some f when (not !shutting_down) && now () >= !next_tick ->
             (* A tick failure (e.g. the replication primary vanished) must
                not take the read path down with it. *)
             (try f () with _ -> ()) (* lint: allow no-swallow *);
-            next_tick := Unix.gettimeofday () +. tick_every
+            next_tick := now () +. tick_every
         | _ -> ())
   done;
   (* Drain deadline passed or every response flushed: whatever remains is

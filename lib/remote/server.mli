@@ -28,6 +28,12 @@ type counters = {
   mutable frames_in : int;  (** complete request frames decoded *)
   mutable frames_out : int;  (** response frames queued *)
   mutable timeouts : int;  (** idle connections reaped *)
+  mutable group_commits : int;
+      (** batched fsyncs performed by the group-commit path (one per
+          event-loop round with parked write acks) *)
+  mutable acks_released : int;
+      (** write acknowledgements released by group commits;
+          [acks_released / group_commits] is the amortization factor *)
 }
 (** Per-server serving counters, also spliced into every [Stats] response
     answered while serving. *)
@@ -71,8 +77,10 @@ val serve :
   ?checkpoint:(unit -> int * int) ->
   ?journal:journal_hooks ->
   ?redirect:string * int ->
+  ?group_commit:(unit -> unit) ->
   ?tick:(unit -> unit) ->
   ?tick_every:float ->
+  ?now:(unit -> float) ->
   ?config:config ->
   Forkbase.Db.t ->
   Unix.file_descr ->
@@ -87,11 +95,26 @@ val serve :
     answered with an error.  [journal] makes the server a replication
     source (see {!journal_hooks}).  [redirect] puts it in follower mode:
     write requests ([Put] / [Fork] / [Merge] / [Checkpoint]) are answered
-    with [Redirect] naming the primary instead of executing.  [tick] is
-    invoked between event rounds, at most every [tick_every] seconds
-    (default 0.05) — the hook a follower's replication sync runs in, so
-    journal application is serialized with request handling; a raising
-    tick is swallowed (the serving side must survive a vanished
+    with [Redirect] naming the primary instead of executing.
+
+    [group_commit] enables group commit over a durable store opened with
+    {!Fbpersist.Persist.set_deferred_sync}: responses to durable writes
+    ([Put] / [Fork] / [Merge]) are parked, and once per event-loop round
+    the hook (typically [fun () -> Persist.sync p]) runs {e once} before
+    the whole batch of acknowledgements is released — N concurrent
+    writers share one fsync per round instead of paying one each, with
+    unchanged per-ack durability.  Progress is visible in the
+    [group_commits] / [acks_released] counters.
+
+    [now] is the loop's time source (default {!Clock.monotonic}), driving
+    idle timeouts, the drain deadline and the tick schedule.  It must be
+    monotone non-decreasing; the default is immune to wall-clock (NTP)
+    steps.  Injectable for deterministic timeout tests.
+
+    [tick] is invoked between event rounds, at most every [tick_every]
+    seconds (default 0.05) — the hook a follower's replication sync runs
+    in, so journal application is serialized with request handling; a
+    raising tick is swallowed (the serving side must survive a vanished
     primary). *)
 
 val handle :

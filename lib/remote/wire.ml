@@ -44,6 +44,8 @@ type stats = {
   frames_in : int;
   frames_out : int;
   timeouts : int;
+  group_commits : int;
+  acks_released : int;
 }
 
 type response =
@@ -230,7 +232,8 @@ let encode_response resp =
       List.iter (Codec.varint buf)
         [ s.chunks; s.bytes; s.puts; s.dedup_hits; s.gets; s.misses; s.keys;
           s.branches; s.journal_seq; s.journal_bytes; s.accepted; s.active;
-          s.closed_ok; s.closed_err; s.frames_in; s.frames_out; s.timeouts ]
+          s.closed_ok; s.closed_err; s.frames_in; s.frames_out; s.timeouts;
+          s.group_commits; s.acks_released ]
   | Reclaimed { chunks; bytes } ->
       Buffer.add_char buf 'c';
       Codec.varint buf chunks;
@@ -288,10 +291,13 @@ let decode_response s =
         let frames_in = Codec.read_varint r in
         let frames_out = Codec.read_varint r in
         let timeouts = Codec.read_varint r in
+        let group_commits = Codec.read_varint r in
+        let acks_released = Codec.read_varint r in
         Stats_r
           { chunks; bytes; puts; dedup_hits; gets; misses; keys; branches;
             journal_seq; journal_bytes; accepted; active; closed_ok;
-            closed_err; frames_in; frames_out; timeouts }
+            closed_err; frames_in; frames_out; timeouts; group_commits;
+            acks_released }
     | 'c' ->
         let chunks = Codec.read_varint r in
         Reclaimed { chunks; bytes = Codec.read_varint r }

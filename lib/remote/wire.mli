@@ -60,6 +60,12 @@ type stats = {
   frames_in : int;
   frames_out : int;
   timeouts : int;  (** idle connections reaped by the server *)
+  group_commits : int;
+      (** batched fsyncs performed by the server's group-commit path *)
+  acks_released : int;
+      (** write acknowledgements released by group commits; divided by
+          [group_commits] this is the amortization factor (acks per
+          fsync) *)
 }
 (** Chunk-store / db counters plus the serving-side connection counters.
     The connection counters are all zero when the stats describe an

@@ -288,6 +288,147 @@ let test_journal_torn_tail_every_offset () =
     Persist.close p2
   done
 
+(* --- regression: a failed open must release both descriptors --- *)
+
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_failed_open_leaks_no_fds () =
+  with_temp_dir @@ fun dir ->
+  let p = Persist.open_db dir in
+  let (_ : Cid.t) = Db.put (Persist.db p) ~key:"k" (Db.str "v") in
+  Persist.close p;
+  (* forge a dangling head so every reopen fails inside validate_heads,
+     after both the chunk log and the journal are already open *)
+  let j, _ = Journal.open_ (Filename.concat dir "branches.journal") in
+  Journal.append j ~seq:3
+    [
+      Journal.Mutation
+        (Db.Set_head
+           { key = "k"; branch = "master"; uid = Cid.digest "no such chunk" });
+    ];
+  Journal.close j;
+  let baseline = count_fds () in
+  for _ = 1 to 100 do
+    match Persist.open_db dir with
+    | exception Persist.Corrupt_db _ -> ()
+    | p ->
+        Persist.close p;
+        Alcotest.fail "corrupt db accepted"
+  done;
+  Alcotest.(check int) "fd count stable across 100 failed opens" baseline
+    (count_fds ())
+
+(* --- regression: rename durability requires fsyncing the directory --- *)
+
+let test_rename_fsyncs_directory () =
+  with_temp_dir @@ fun dir ->
+  let p = Persist.open_db dir in
+  let db = Persist.db p in
+  let (_ : Cid.t) = workload db in
+  let before = Persist.dir_fsync_count () in
+  Persist.checkpoint p;
+  let after_ckpt = Persist.dir_fsync_count () in
+  Alcotest.(check bool) "checkpoint fsyncs the directory" true
+    (after_ckpt > before);
+  let (_ : int * int) = Persist.compact p in
+  Alcotest.(check bool) "compact fsyncs the directory" true
+    (Persist.dir_fsync_count () > after_ckpt);
+  (* crash-release (no close-time fsync): the renamed files must already
+     be durable on their own *)
+  let state = state_of db in
+  Persist.crash p;
+  let p2 = Persist.open_db dir in
+  Alcotest.(check bool) "state survives crash right after checkpoint+compact"
+    true
+    (state_of (Persist.db p2) = state);
+  Persist.close p2
+
+(* --- regression: hostile varint lengths are typed corruption --- *)
+
+let append_bytes path s =
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+(* 8 continuation bytes then 0x7f lands bit 62 — negative on 63-bit
+   ints; 10 continuation bytes overruns the 56-bit shift bound.  Both
+   used to reach Bytes.create and die with Invalid_argument (or worse,
+   attempt a giant allocation); they must surface as the same typed
+   corruption a garbled body does. *)
+let poisons =
+  [
+    ("negative length", String.make 8 '\xff' ^ "\x7f");
+    ("overlong varint", String.make 10 '\xff');
+  ]
+
+let test_log_store_bad_varint_is_corruption () =
+  with_temp_dir @@ fun dir ->
+  let p = Persist.open_db dir in
+  let (_ : Cid.t) = Db.put (Persist.db p) ~key:"k" (Db.str "v") in
+  Persist.close p;
+  let log = Filename.concat dir "chunks.log" in
+  let orig = Filename.concat dir "chunks.orig" in
+  copy_file log orig;
+  List.iter
+    (fun (label, poison) ->
+      copy_file orig log;
+      append_bytes log poison;
+      match Persist.open_db dir with
+      | exception Persist.Corrupt_db (Persist.Bad_chunk_log _) -> ()
+      | exception e ->
+          Alcotest.failf "%s: unexpected exception %s" label
+            (Printexc.to_string e)
+      | p ->
+          Persist.close p;
+          Alcotest.failf "%s: poisoned chunk log accepted" label)
+    poisons
+
+let test_journal_bad_varint_is_corruption () =
+  with_temp_dir @@ fun dir ->
+  let p = Persist.open_db dir in
+  let (_ : Cid.t) = Db.put (Persist.db p) ~key:"k" (Db.str "v") in
+  Persist.close p;
+  let jpath = Filename.concat dir "branches.journal" in
+  let orig = Filename.concat dir "journal.orig" in
+  copy_file jpath orig;
+  List.iter
+    (fun (label, poison) ->
+      copy_file orig jpath;
+      append_bytes jpath poison;
+      match Persist.open_db dir with
+      | exception Persist.Corrupt_db (Persist.Bad_journal _) -> ()
+      | exception e ->
+          Alcotest.failf "%s: unexpected exception %s" label
+            (Printexc.to_string e)
+      | p ->
+          Persist.close p;
+          Alcotest.failf "%s: poisoned journal accepted" label)
+    poisons
+
+(* --- deferred sync (the group-commit hook): no per-op fsync, explicit
+   sync drains, clean close still recovers --- *)
+
+let test_deferred_sync () =
+  with_temp_dir @@ fun dir ->
+  let p = Persist.open_db ~journal_sync_every:1 dir in
+  Persist.set_deferred_sync p true;
+  let db = Persist.db p in
+  for i = 1 to 5 do
+    let (_ : Cid.t) = Db.put db ~key:"k" (Db.str (string_of_int i)) in
+    ()
+  done;
+  Alcotest.(check bool) "per-op auto-fsync suppressed" true
+    (Persist.unsynced_ops p >= 5);
+  Persist.sync p;
+  Alcotest.(check int) "explicit sync drains the batch" 0
+    (Persist.unsynced_ops p);
+  let final = state_of db in
+  Persist.close p;
+  let p2 = Persist.open_db dir in
+  Alcotest.(check bool) "deferred-sync db recovers after clean close" true
+    (state_of (Persist.db p2) = final);
+  Persist.close p2
+
 let test_db_level_sync_every () =
   with_temp_dir @@ fun dir ->
   (* exposed knobs accepted and still safe on close *)
@@ -315,6 +456,18 @@ let () =
           Alcotest.test_case "missing head" `Quick test_missing_head_is_corruption;
           Alcotest.test_case "garbled journal" `Quick test_garbled_journal_is_corruption;
           Alcotest.test_case "db-level sync_every" `Quick test_db_level_sync_every;
+          Alcotest.test_case "failed open leaks no fds" `Quick
+            test_failed_open_leaks_no_fds;
+          Alcotest.test_case "bad chunk-log varint" `Quick
+            test_log_store_bad_varint_is_corruption;
+          Alcotest.test_case "bad journal varint" `Quick
+            test_journal_bad_varint_is_corruption;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "renames fsync the directory" `Quick
+            test_rename_fsyncs_directory;
+          Alcotest.test_case "deferred sync" `Quick test_deferred_sync;
         ] );
       ( "compaction",
         [

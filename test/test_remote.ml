@@ -59,14 +59,14 @@ let gen_stats =
         | [ chunks; bytes; puts; dedup_hits; gets; misses; keys; branches;
             journal_seq; journal_bytes;
             accepted; active; closed_ok; closed_err; frames_in; frames_out;
-            timeouts ] ->
+            timeouts; group_commits; acks_released ] ->
             Wire.Stats_r
               { chunks; bytes; puts; dedup_hits; gets; misses; keys; branches;
                 journal_seq; journal_bytes;
                 accepted; active; closed_ok; closed_err; frames_in; frames_out;
-                timeouts }
+                timeouts; group_commits; acks_released }
         | _ -> assert false)
-      (list_repeat 17 small_nat))
+      (list_repeat 19 small_nat))
 
 let gen_response =
   QCheck.Gen.(
@@ -343,6 +343,163 @@ let test_idle_timeout () =
   Client.quit_server fresh;
   Client.close fresh
 
+(* --- the event loop's clock is injected, not wall time --- *)
+
+let spawn_server_now ?config ~now () =
+  let listen_fd = Server.listen ~port:0 () in
+  let port = Server.bound_port listen_fd in
+  match Unix.fork () with
+  | 0 ->
+      let db = Forkbase.Db.create (Fbchunk.Chunk_store.mem_store ()) in
+      (try ignore (Server.serve ~now ?config db listen_fd : Server.counters)
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close listen_fd;
+      (port, pid)
+
+let with_server_now ?config ~now f =
+  let port, pid = spawn_server_now ?config ~now () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid))
+    (fun () -> f port)
+
+(* With a frozen clock, no amount of real elapsed time ages a
+   connection: idle reaping must be driven by the injected time source
+   alone.  (Before the clock was injectable the loop read
+   Unix.gettimeofday directly, so a wall-clock step — NTP, manual reset —
+   could reap every connection at once; this test would hang on the old
+   code only by freezing the wall clock itself.) *)
+let test_frozen_clock_never_reaps () =
+  let config = { Server.default_config with Server.idle_timeout = 0.2 } in
+  with_server_now ~config ~now:(fun () -> 42.0) @@ fun port ->
+  let c = Client.connect ~retries:5 ~port () in
+  let (_ : Cid.t) = Client.put c ~key:"k" (Wire.Str "v") in
+  Unix.sleepf 0.8 (* 4x the idle timeout in real time *);
+  (match Client.get c ~key:"k" with
+  | (_ : Wire.value) -> ()
+  | exception Client.Disconnected ->
+      Alcotest.fail "conn reaped under frozen clock");
+  let s = Client.stats c in
+  Alcotest.(check int) "no timeouts under frozen clock" 0 s.Wire.timeouts;
+  Client.quit_server c;
+  Client.close c
+
+(* The converse: a fake clock that leaps forward on every reading
+   reaps the idle connection after a fraction of the real idle timeout,
+   proving timeouts come from [now] and nowhere else. *)
+let test_stepping_clock_reaps () =
+  let config = { Server.default_config with Server.idle_timeout = 0.3 } in
+  let now =
+    let t = ref 0.0 in
+    fun () ->
+      t := !t +. 0.2;
+      !t
+  in
+  with_server_now ~config ~now @@ fun port ->
+  let idle = Client.connect ~retries:5 ~port () in
+  let (_ : Cid.t) = Client.put idle ~key:"k" (Wire.Str "v") in
+  Unix.sleepf 1.0;
+  (match Client.get idle ~key:"k" with
+  | exception Client.Disconnected -> ()
+  | _ -> Alcotest.fail "stepping clock should have reaped the idle conn");
+  Client.close idle;
+  let fresh = Client.connect ~retries:5 ~port () in
+  let s = Client.stats fresh in
+  Alcotest.(check bool) "timeout recorded" true (s.Wire.timeouts >= 1);
+  (* the leaping clock can reap this connection too before Quit lands;
+     with_server_now kills the server either way *)
+  (try Client.quit_server fresh with Client.Disconnected -> ());
+  Client.close fresh
+
+(* --- group commit: batched acks over a durable store --- *)
+
+module Persist = Fbpersist.Persist
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fbremote-%d-%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Unix.mkdir dir 0o755;
+  let rm_rf dir =
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let spawn_group_commit_server ~dir () =
+  let listen_fd = Server.listen ~port:0 () in
+  let port = Server.bound_port listen_fd in
+  match Unix.fork () with
+  | 0 ->
+      let p = Persist.open_db ~journal_sync_every:1 dir in
+      Persist.set_deferred_sync p true;
+      (try
+         ignore
+           (Server.serve
+              ~group_commit:(fun () -> Persist.sync p)
+              (Persist.db p) listen_fd
+             : Server.counters)
+       with _ -> ());
+      (try Persist.close p with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close listen_fd;
+      (port, pid)
+
+let test_group_commit () =
+  with_temp_dir @@ fun dir ->
+  let port, server_pid = spawn_group_commit_server ~dir () in
+  let writers = 4 and puts_each = 25 in
+  let pids =
+    List.init writers (fun id ->
+        match Unix.fork () with
+        | 0 ->
+            (try
+               let c = Client.connect ~retries:20 ~port () in
+               for i = 1 to puts_each do
+                 let (_ : Cid.t) =
+                   Client.put c
+                     ~key:(Printf.sprintf "w%d" id)
+                     (Wire.Str (Printf.sprintf "v%d" i))
+                 in
+                 ()
+               done;
+               Client.close c
+             with _ -> ());
+            Unix._exit 0
+        | pid -> pid)
+  in
+  List.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids;
+  let c = Client.connect ~retries:20 ~port () in
+  let s = Client.stats c in
+  let total = writers * puts_each in
+  Alcotest.(check bool) "at least one group commit" true
+    (s.Wire.group_commits >= 1);
+  Alcotest.(check int) "every durable write's ack went through the batch"
+    total s.Wire.acks_released;
+  Alcotest.(check bool) "syncs never exceed released acks" true
+    (s.Wire.group_commits <= s.Wire.acks_released);
+  Client.quit_server c;
+  Client.close c;
+  ignore (Unix.waitpid [] server_pid);
+  (* every acknowledged write is on disk *)
+  let p = Persist.open_db dir in
+  let db = Persist.db p in
+  for id = 0 to writers - 1 do
+    match Forkbase.Db.get db ~key:(Printf.sprintf "w%d" id) with
+    | Ok v ->
+        Alcotest.(check bool)
+          (Printf.sprintf "writer %d's last put recovered" id)
+          true
+          (v = Forkbase.Db.str (Printf.sprintf "v%d" puts_each))
+    | Error e -> Alcotest.fail (Forkbase.Db.error_to_string e)
+  done;
+  Persist.close p
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "remote"
@@ -366,5 +523,10 @@ let () =
           Alcotest.test_case "truncated frame close" `Quick
             test_truncated_frame_close;
           Alcotest.test_case "idle timeout" `Quick test_idle_timeout;
+          Alcotest.test_case "frozen clock never reaps" `Quick
+            test_frozen_clock_never_reaps;
+          Alcotest.test_case "stepping clock reaps" `Quick
+            test_stepping_clock_reaps;
+          Alcotest.test_case "group commit" `Quick test_group_commit;
         ] );
     ]
