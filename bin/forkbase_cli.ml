@@ -531,6 +531,99 @@ let checkpoint_cmd =
        ~doc:"snapshot branch tables and compact the chunk log")
     Term.(const run $ const ())
 
+let soak_cmd =
+  let run profile seconds ops seed quiet =
+    let seed =
+      match seed with
+      | None -> None
+      | Some s -> (
+          match Int64.of_string_opt s with
+          | Some v -> Some v
+          | None ->
+              Printf.eprintf
+                "error: --seed expects an integer (0x-hex ok), got %S\n" s;
+              exit 2)
+    in
+    let log = if quiet then ignore else fun l -> Printf.printf "%s\n%!" l in
+    let cfg =
+      match profile with
+      | "short" -> Fbsoak.Soak.short_config ?seed ?ops ~log ()
+      | "long" -> Fbsoak.Soak.long_config ?seed ?seconds ?ops ~log ()
+      | p ->
+          Printf.eprintf "error: --profile expects short or long, got %S\n" p;
+          exit 2
+    in
+    match Fbsoak.Soak.run cfg with
+    | o ->
+        let open Fbsoak.Soak in
+        Printf.printf
+          "soak ok: %d ops (%s)%s — %d inline checks, %d full verifies, %d \
+           fscks, %d convergence checks, %d model diffs, %d faults injected\n\
+           chaos events fired: %s\n"
+          o.ops_done
+          (String.concat ", "
+             (List.map (fun (a, n) -> Printf.sprintf "%s %d" a n) o.ops_by_app))
+          (if o.timed_out then " [deadline reached]" else "")
+          o.inline_checks o.full_verifies o.stores_fscked o.convergence_checks
+          o.model_checks o.faults_injected
+          (String.concat ", "
+             (List.map
+                (fun (k, n) -> Printf.sprintf "%s ×%d" k n)
+                o.events_fired))
+    | exception Fbsoak.Soak.Soak_failed f ->
+        prerr_string (Fbsoak.Soak.failure_report f);
+        exit 1
+  in
+  let profile_arg =
+    Arg.(
+      value & opt string "short"
+      & info [ "profile" ] ~docv:"short|long"
+          ~doc:
+            "$(b,short): the deterministic, clock-free profile dune runtest \
+             uses; $(b,long): bigger keyspaces bounded by $(b,--seconds).")
+  in
+  let seconds_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "seconds" ] ~docv:"S"
+          ~env:(Cmd.Env.info "FORKBASE_SOAK_SECONDS")
+          ~doc:"Wall-clock budget for the long profile (default 60).")
+  in
+  let ops_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ops" ] ~docv:"N"
+          ~env:(Cmd.Env.info "FORKBASE_SOAK_OPS")
+          ~doc:"Driver operations (the chaos schedule's time axis).")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~env:(Cmd.Env.info "FORKBASE_SOAK_SEED")
+          ~doc:
+            "Run seed (decimal or 0x-hex).  Replaying the seed printed in a \
+             failure report reproduces the run, chaos events included.")
+  in
+  let quiet_flag =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ] ~doc:"Only print the final summary line.")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "run the mixed-workload chaos soak: wiki + redis-style + ledger \
+          traffic against a real primary process with followers, under \
+          seed-replayable fault injection, crash/restart, compaction and \
+          promotion chaos, with continuous invariant checking (fsck, \
+          application models, replication convergence)")
+    Term.(
+      const run $ profile_arg $ seconds_arg $ ops_arg $ seed_arg $ quiet_flag)
+
 let () =
   let doc = "a tamper-evident, forkable key-value store (ForkBase)" in
   let info = Cmd.info "forkbase" ~doc in
@@ -541,5 +634,5 @@ let () =
             put_cmd; get_cmd; fork_cmd; branches_cmd; log_cmd; merge_cmd;
             keys_cmd; verify_cmd; fsck_cmd; lint_cmd; stats_cmd;
             checkpoint_cmd; gc_cmd; serve_cmd; follow_cmd;
-            replication_status_cmd;
+            replication_status_cmd; soak_cmd;
           ]))

@@ -1,0 +1,293 @@
+type aval =
+  | AStr of string
+  | ABlob of string
+  | AList of string list
+  | AMap of (string * string) list
+  | ASet of string list
+
+let aval_equal a b =
+  match (a, b) with
+  | AStr x, AStr y | ABlob x, ABlob y -> String.equal x y
+  | AList x, AList y | ASet x, ASet y ->
+      List.length x = List.length y && List.for_all2 String.equal x y
+  | AMap x, AMap y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && String.equal v1 v2)
+           x y
+  | _ -> false
+
+let truncate s =
+  if String.length s <= 48 then s else String.sub s 0 45 ^ "..."
+
+let aval_to_string = function
+  | AStr s -> Printf.sprintf "str %S" (truncate s)
+  | ABlob b -> Printf.sprintf "blob[%d] %S" (String.length b) (truncate b)
+  | AList l -> Printf.sprintf "list[%d] %s" (List.length l) (truncate (String.concat "," l))
+  | AMap kvs ->
+      Printf.sprintf "map[%d] %s" (List.length kvs)
+        (truncate (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)))
+  | ASet l -> Printf.sprintf "set[%d] %s" (List.length l) (truncate (String.concat "," l))
+
+type reader = key:string -> branch:string -> aval option
+
+let mismatch ~what ~key expected got =
+  let got_s =
+    match got with None -> "absent" | Some v -> aval_to_string v
+  in
+  Printf.sprintf "%s %s: expected %s, store has %s" what key
+    (aval_to_string expected) got_s
+
+let check_one (read : reader) ~what ~key ~branch expected acc =
+  match read ~key ~branch with
+  | Some got when aval_equal expected got -> acc
+  | got -> mismatch ~what ~key expected got :: acc
+
+(* ------------------------------------------------------------------ *)
+
+module Kv = struct
+  type t = {
+    strings : (string, string) Hashtbl.t;
+    lists : (string, string list) Hashtbl.t;
+    sets : (string, string list) Hashtbl.t;  (* sorted, unique *)
+  }
+
+  let create () =
+    {
+      strings = Hashtbl.create 64;
+      lists = Hashtbl.create 16;
+      sets = Hashtbl.create 16;
+    }
+
+  let set t ~key v = Hashtbl.replace t.strings key v
+  let get t ~key = Hashtbl.find_opt t.strings key
+
+  let push t ~key ~cap v =
+    let old = Option.value ~default:[] (Hashtbl.find_opt t.lists key) in
+    let l = old @ [ v ] in
+    let l =
+      if cap > 0 && List.length l > cap then
+        (* drop the oldest elements beyond the cap *)
+        List.filteri (fun i _ -> i >= List.length l - cap) l
+      else l
+    in
+    Hashtbl.replace t.lists key l;
+    l
+
+  let add_member t ~key v =
+    let old = Option.value ~default:[] (Hashtbl.find_opt t.sets key) in
+    let l = List.sort_uniq compare (v :: old) in
+    Hashtbl.replace t.sets key l;
+    l
+
+  let sorted_keys tbl =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+  let check t (read : reader) =
+    let acc = ref [] in
+    List.iter
+      (fun key ->
+        match Hashtbl.find_opt t.strings key with
+        | Some v ->
+            acc := check_one read ~what:"kv-str" ~key ~branch:"master" (AStr v) !acc
+        | None -> ())
+      (sorted_keys t.strings);
+    List.iter
+      (fun key ->
+        match Hashtbl.find_opt t.lists key with
+        | Some l ->
+            acc := check_one read ~what:"kv-list" ~key ~branch:"master" (AList l) !acc
+        | None -> ())
+      (sorted_keys t.lists);
+    List.iter
+      (fun key ->
+        match Hashtbl.find_opt t.sets key with
+        | Some l ->
+            acc := check_one read ~what:"kv-set" ~key ~branch:"master" (ASet l) !acc
+        | None -> ())
+      (sorted_keys t.sets);
+    List.rev !acc
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Wiki = struct
+  type page = {
+    mutable master : string;
+    mutable session : int;  (* draft sessions ever opened for this page *)
+    mutable draft : (string * string) option;  (* branch name, content *)
+  }
+
+  type t = (string, page) Hashtbl.t
+
+  let create () : t = Hashtbl.create 32
+
+  let page t name = Hashtbl.find_opt t name
+
+  let save t ~page:name content =
+    match page t name with
+    | Some p ->
+        if p.draft <> None then
+          invalid_arg "App_model.Wiki.save: master frozen while a session is open";
+        p.master <- content
+    | None ->
+        Hashtbl.replace t name { master = content; session = 0; draft = None }
+
+  let master t ~page:name = Option.map (fun p -> p.master) (page t name)
+
+  let pages t =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+  let open_draft t ~page:name =
+    match page t name with
+    | None -> invalid_arg "App_model.Wiki.open_draft: unknown page"
+    | Some p ->
+        if p.draft <> None then
+          invalid_arg "App_model.Wiki.open_draft: session already open";
+        p.session <- p.session + 1;
+        let branch = Printf.sprintf "draft-%d" p.session in
+        p.draft <- Some (branch, p.master);
+        branch
+
+  let draft t ~page:name = Option.bind (page t name) (fun p -> p.draft)
+
+  let edit_draft t ~page:name content =
+    match page t name with
+    | Some ({ draft = Some (branch, _); _ } as p) ->
+        p.draft <- Some (branch, content)
+    | _ -> invalid_arg "App_model.Wiki.edit_draft: no open session"
+
+  let merge_draft t ~page:name =
+    match page t name with
+    | Some ({ draft = Some (_, content); _ } as p) ->
+        p.master <- content;
+        p.draft <- None
+    | _ -> invalid_arg "App_model.Wiki.merge_draft: no open session"
+
+  let check t (read : reader) =
+    let acc = ref [] in
+    List.iter
+      (fun name ->
+        match page t name with
+        | None -> ()
+        | Some p ->
+            acc :=
+              check_one read ~what:"wiki-page" ~key:name ~branch:"master"
+                (ABlob p.master) !acc;
+            (match p.draft with
+            | Some (branch, content) ->
+                acc :=
+                  check_one read ~what:"wiki-draft" ~key:name ~branch
+                    (ABlob content) !acc
+            | None -> ()))
+      (pages t);
+    List.rev !acc
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Ledger = struct
+  type t = {
+    balances : int array;
+    written : bool array;
+    supply : int;
+    mutable height : int;
+    mutable last_txid : string;
+  }
+
+  let create ~accounts ~initial =
+    if accounts <= 0 || initial < 0 then
+      invalid_arg "App_model.Ledger.create";
+    {
+      balances = Array.make accounts initial;
+      written = Array.make accounts false;
+      supply = accounts * initial;
+      height = 0;
+      last_txid = "";
+    }
+
+  let accounts t = Array.length t.balances
+  let supply t = t.supply
+
+  let balance t i =
+    if i < 0 || i >= Array.length t.balances then
+      invalid_arg "App_model.Ledger.balance";
+    t.balances.(i)
+
+  let written t i =
+    if i < 0 || i >= Array.length t.written then
+      invalid_arg "App_model.Ledger.written";
+    t.written.(i)
+
+  let transfer t ~src ~dst ~amount =
+    if
+      src < 0 || dst < 0
+      || src >= Array.length t.balances
+      || dst >= Array.length t.balances
+    then invalid_arg "App_model.Ledger.transfer";
+    if src = dst then 0
+    else begin
+      let moved = max 0 (min amount t.balances.(src)) in
+      t.balances.(src) <- t.balances.(src) - moved;
+      t.balances.(dst) <- t.balances.(dst) + moved;
+      t.written.(src) <- true;
+      t.written.(dst) <- true;
+      moved
+    end
+
+  let seal_block t ~txid =
+    t.height <- t.height + 1;
+    t.last_txid <- txid
+
+  let height t = t.height
+  let last_txid t = t.last_txid
+
+  let check t ~account_key ~meta_key (read : reader) =
+    let acc = ref [] in
+    let sum = ref 0 in
+    let clean = ref true in
+    Array.iteri
+      (fun i expected ->
+        let key = account_key i in
+        if t.written.(i) then begin
+          match read ~key ~branch:"master" with
+          | Some (AStr s) when int_of_string_opt s = Some expected ->
+              sum := !sum + expected
+          | got ->
+              clean := false;
+              acc :=
+                mismatch ~what:"ledger-acct" ~key
+                  (AStr (string_of_int expected)) got
+                :: !acc
+        end
+        else begin
+          match read ~key ~branch:"master" with
+          | None ->
+              (* untouched account: only the model holds its (initial)
+                 balance — it still counts toward the supply *)
+              sum := !sum + expected
+          | Some got ->
+              clean := false;
+              acc :=
+                Printf.sprintf
+                  "ledger-acct %s: expected absent (never written), store has %s"
+                  key (aval_to_string got)
+                :: !acc
+        end)
+      t.balances;
+    if !clean && !sum <> t.supply then
+      acc :=
+        Printf.sprintf
+          "ledger: conservation violated: balances sum to %d, supply is %d"
+          !sum t.supply
+        :: !acc;
+    if t.height > 0 then begin
+      let expected =
+        AMap
+          (List.sort compare
+             [ ("height", string_of_int t.height); ("last", t.last_txid) ])
+      in
+      acc := check_one read ~what:"ledger-meta" ~key:meta_key ~branch:"master" expected !acc
+    end;
+    List.rev !acc
+end

@@ -1,0 +1,123 @@
+(** Pure per-application shadow models for mixed-workload verification.
+
+    {!Model} mirrors the connector's {e generic} observable state (keys,
+    branches, heads).  The soak harness (lib/soak) additionally needs
+    {e application-level} oracles: what content each wiki page should
+    hold, what every account balance should be, what a Redis-style
+    key maps to — independent of how the engine stored it.  These models
+    are that oracle: naive OCaml data updated alongside every operation
+    the workload issues, plus a [check] that diffs the model against the
+    store through a caller-supplied reader.
+
+    The reader indirection keeps this module pure and transport-agnostic:
+    the same model checks a store read over the wire (lib/remote client),
+    a follower's local connector, or a recovered on-disk store — which is
+    exactly how the soak asserts that primary, followers, and post-crash
+    recoveries all agree with the application's history. *)
+
+type aval =
+  | AStr of string
+  | ABlob of string
+  | AList of string list
+  | AMap of (string * string) list  (** sorted by key, as stored *)
+  | ASet of string list  (** sorted, unique, as stored *)
+
+val aval_equal : aval -> aval -> bool
+val aval_to_string : aval -> string
+(** Human-readable, truncated to a diagnostic-friendly length. *)
+
+type reader = key:string -> branch:string -> aval option
+(** How [check] reads the store under test: [None] when the key or
+    branch does not exist there. *)
+
+(** Redis-style flat keyspace: strings, capped lists, sorted sets. *)
+module Kv : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> key:string -> string -> unit
+  val get : t -> key:string -> string option
+
+  val push : t -> key:string -> cap:int -> string -> string list
+  (** Append to the list at [key], dropping the oldest element beyond
+      [cap]; returns the new list — the exact value the workload must
+      write back. *)
+
+  val add_member : t -> key:string -> string -> string list
+  (** Add to the sorted set at [key]; returns the new member list. *)
+
+  val check : t -> reader -> string list
+  (** One mismatch line per key whose stored value differs from the
+      model; [[]] means the store agrees. *)
+end
+
+(** Versioned wiki pages with a fork/edit/merge draft workflow. *)
+module Wiki : sig
+  type t
+
+  val create : unit -> t
+  val save : t -> page:string -> string -> unit
+  (** A direct edit of the master branch.  Refused ([Invalid_argument])
+      while a draft session is open — freezing master during a session
+      is what makes the closing three-way merge clean, and therefore
+      exactly predictable. *)
+
+  val master : t -> page:string -> string option
+  val pages : t -> string list
+
+  val open_draft : t -> page:string -> string
+  (** Start a draft session and return its {e fresh} branch name
+      ("draft-1", "draft-2", ... per page — each session forks master
+      anew, so the merge base is always the fork point).  The draft
+      starts from master's content. *)
+
+  val draft : t -> page:string -> (string * string) option
+  (** [(branch, content)] of the open session, if any. *)
+
+  val edit_draft : t -> page:string -> string -> unit
+
+  val merge_draft : t -> page:string -> unit
+  (** Close the session: master takes the draft content — the outcome of
+      a clean three-way merge whose target side never moved. *)
+
+  val check : t -> reader -> string list
+  (** Master content for every page, and draft-branch content for every
+      open session. *)
+end
+
+(** Account balances under transfers — the conservation-of-money
+    invariant blockchain workloads (smallbank, §6.2) rest on. *)
+module Ledger : sig
+  type t
+
+  val create : accounts:int -> initial:int -> t
+  val accounts : t -> int
+  val supply : t -> int
+  (** [accounts * initial] — constant for the model's lifetime. *)
+
+  val balance : t -> int -> int
+
+  val written : t -> int -> bool
+  (** The account has been party to a transfer — i.e. the workload has
+      actually written its balance to the store.  Untouched accounts
+      exist only in the model (at the initial balance) and must be
+      {e absent} from the store. *)
+
+  val transfer : t -> src:int -> dst:int -> amount:int -> int
+  (** Move up to [amount] (clamped to the source balance, never
+      overdrafting); returns what actually moved and marks both
+      accounts {!written}.  [src = dst] moves nothing. *)
+
+  val seal_block : t -> txid:string -> unit
+  val height : t -> int
+  val last_txid : t -> string
+
+  val check :
+    t -> account_key:(int -> string) -> meta_key:string -> reader ->
+    string list
+  (** Every written account's stored balance matches the model, every
+      untouched account is absent from the store, stored plus untouched
+      balances sum to the constant supply (conservation of money), and
+      the chain-metadata map at [meta_key] carries the model's height
+      and last transaction id. *)
+end

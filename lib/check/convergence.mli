@@ -1,0 +1,24 @@
+(** Replication-convergence checking: are two stores' branch heads equal?
+
+    After a quiesce (writes stopped, followers synced until caught up),
+    a primary and each of its followers must agree on the full head map —
+    every key, every tagged branch, the same version uid at each.  The
+    head map travels as plain data ([key -> (branch, uid-hex) list]) so
+    one side can come from a remote server's wire listings and the other
+    from a local connector, which is how the soak harness (lib/soak) and
+    the replication tests use it. *)
+
+type heads = (string * (string * string) list) list
+(** [key -> (branch, uid-hex) list], both levels sorted — the shape
+    {!normalize} produces and {!diff} expects. *)
+
+val normalize : (string * (string * string) list) list -> heads
+(** Sort keys and each key's branch list (by branch name). *)
+
+val of_db : Forkbase.Db.t -> heads
+(** The head map of a local connector, normalized. *)
+
+val diff : left_name:string -> right_name:string -> left:heads -> right:heads -> string list
+(** Human-readable divergence lines — keys missing on either side,
+    branches missing on either side, and branch heads that differ; [[]]
+    means the two stores converged.  Inputs must be {!normalize}d. *)

@@ -129,3 +129,9 @@ val handle :
 val stats_of_db : Forkbase.Db.t -> Wire.stats
 (** Db-level stats with all connection counters zero; {!serve} fills them
     in when answering over the wire. *)
+
+val to_wire_value : Fbtypes.Value.t -> Wire.value
+(** The materialization a [Get] response performs (blobs and containers
+    read back through the store into plain data).  Exposed so embedded
+    readers — a follower's local connector in the soak harness — can be
+    compared against wire reads in one value domain. *)

@@ -1,0 +1,581 @@
+module Splitmix = Fbutil.Splitmix
+module Client = Fbremote.Client
+module Procs = Fbremote.Procs
+module Proc = Fbreplica.Proc
+module Replica = Fbreplica.Replica
+module Failpoint = Fbcheck.Failpoint
+module Fsck = Fbcheck.Fsck
+module Convergence = Fbcheck.Convergence
+
+(* ------------------------------------------------------------------ *)
+(* configuration *)
+
+type config = {
+  seed : int64;
+  total_ops : int;
+  followers : int;
+  chaos_events : int;
+  sync_every : int;
+  verify_every : int;
+  kv_keys : int;
+  wiki_pages : int;
+  accounts : int;
+  theta : float;
+  page_bytes : int;
+  value_bytes : int;
+  deadline : float option;
+  sabotage_at : int option;
+  scratch : string option;
+  keep_scratch : bool;
+  log : string -> unit;
+}
+
+let short_config ?(seed = 0x50AC_2026L) ?(ops = 400) ?(log = ignore) () =
+  {
+    seed;
+    total_ops = ops;
+    followers = 2;
+    chaos_events = 5;
+    sync_every = 8;
+    verify_every = max 40 (ops / 3);
+    kv_keys = 160;
+    wiki_pages = 24;
+    accounts = 32;
+    theta = 0.7;
+    page_bytes = 600;
+    value_bytes = 40;
+    deadline = None;
+    sabotage_at = None;
+    scratch = None;
+    keep_scratch = false;
+    log;
+  }
+
+let long_config ?(seed = 0x50AC_2026L) ?(seconds = 60.) ?(ops = 50_000)
+    ?(log = ignore) () =
+  {
+    (short_config ~seed ~ops ~log ()) with
+    followers = 2;
+    chaos_events = max 8 (ops / 2_000);
+    verify_every = max 500 (ops / 20);
+    kv_keys = 2_000;
+    wiki_pages = 200;
+    accounts = 400;
+    page_bytes = 2_000;
+    value_bytes = 120;
+    deadline = Some seconds;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* outcome and failure *)
+
+type outcome = {
+  ops_done : int;
+  events_fired : (string * int) list;
+  inline_checks : int;
+  full_verifies : int;
+  stores_fscked : int;
+  convergence_checks : int;
+  model_checks : int;
+  faults_injected : int;
+  ops_by_app : (string * int) list;
+  timed_out : bool;
+}
+
+type failure = {
+  f_seed : int64;
+  f_at_op : int;
+  f_what : string;
+  f_detail : string list;
+  f_schedule : string list;
+  f_fired : string list;
+  f_scratch : string;
+  f_replay : string;
+}
+
+exception Soak_failed of failure
+
+let failure_report f =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "SOAK FAILURE at op %d (seed 0x%Lx): %s\n" f.f_at_op
+       f.f_seed f.f_what);
+  List.iter (fun l -> Buffer.add_string b ("  " ^ l ^ "\n")) f.f_detail;
+  Buffer.add_string b "chaos schedule:\n";
+  List.iter (fun l -> Buffer.add_string b ("  " ^ l ^ "\n")) f.f_schedule;
+  Buffer.add_string b
+    (Printf.sprintf "events fired before the failure: %d\n"
+       (List.length f.f_fired));
+  List.iter (fun l -> Buffer.add_string b ("  " ^ l ^ "\n")) f.f_fired;
+  Buffer.add_string b ("stores kept for post-mortem: " ^ f.f_scratch ^ "\n");
+  Buffer.add_string b ("replay: " ^ f.f_replay ^ "\n");
+  Buffer.contents b
+
+let () =
+  Printexc.register_printer (function
+    | Soak_failed f -> Some (failure_report f)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* scratch directories *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let fresh_scratch cfg =
+  match cfg.scratch with
+  | Some d ->
+      (try Unix.mkdir d 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      d
+  | None ->
+      let d =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "forkbase-soak-%d-%Lx" (Unix.getpid ()) cfg.seed)
+      in
+      rm_rf d;
+      Unix.mkdir d 0o755;
+      d
+
+(* ------------------------------------------------------------------ *)
+(* harness state *)
+
+type fnode = {
+  mutable rep : Replica.t;
+  mutable fdir : string;
+  mutable fp : Failpoint.t;  (* current fault plan (disarmed = clean) *)
+}
+
+type st = {
+  cfg : config;
+  schedule : Chaos.scheduled list;
+  mutable pending : Chaos.scheduled list;
+  mutable fired : string list;  (* rendered, newest first *)
+  fired_kinds : (string, int) Hashtbl.t;
+  apps : Apps.t;
+  port : int;  (* stable across restarts and promotions *)
+  mutable primary : Procs.t;
+  mutable pdir : string;
+  mutable client : Client.t;
+  fols : fnode array;
+  mutable fault_until : int option;
+  mutable faults_injected : int;
+  mutable full_verifies : int;
+  mutable stores_fscked : int;
+  mutable convergence_checks : int;
+  mutable model_checks : int;
+  mutable op : int;
+  scratch : string;
+}
+
+let fail st ~what ~detail =
+  raise
+    (Soak_failed
+       {
+         f_seed = st.cfg.seed;
+         f_at_op = st.op;
+         f_what = what;
+         f_detail = detail;
+         f_schedule = List.map Chaos.scheduled_to_string st.schedule;
+         f_fired = List.rev st.fired;
+         f_scratch = st.scratch;
+         f_replay =
+           Printf.sprintf "forkbase soak --profile short --ops %d --seed 0x%Lx"
+             st.cfg.total_ops st.cfg.seed;
+       })
+
+let connect st = Client.connect ~retries:100 ~port:st.port ()
+
+let open_fnode st fn =
+  fn.rep <-
+    Replica.open_follower
+      ~wrap_store:(Failpoint.store fn.fp)
+      ~retries:10 ~dir:fn.fdir ~host:"127.0.0.1" ~port:st.port ()
+
+(* ------------------------------------------------------------------ *)
+(* follower syncing *)
+
+(* A plan's [Failpoint.injected] counts every fault that fired (dropped
+   reads included, which never raise); fold it into the run total when
+   the plan is retired. *)
+let retire_fp st fn next =
+  st.faults_injected <- st.faults_injected + Failpoint.injected fn.fp;
+  fn.fp <- next
+
+let sync_once fn =
+  match Replica.sync_step fn.rep with
+  | (_ : Replica.progress) -> ()
+  | exception Fbchunk.Chunk_store.Injected_fault _ ->
+      (* an injected backfill failure; the next sync round retries *)
+      ()
+
+let catch_up st fn ~who =
+  let gone = ref 0 in
+  let rec go budget =
+    if budget = 0 then
+      fail st ~what:(who ^ " failed to catch up")
+        ~detail:
+          [
+            Printf.sprintf "lag still %d after sync budget exhausted"
+              (Replica.lag fn.rep);
+          ]
+    else
+      match Replica.sync_step fn.rep with
+      | exception Fbchunk.Chunk_store.Injected_fault _ -> go (budget - 1)
+      | Replica.Caught_up when Replica.lag fn.rep = 0 -> ()
+      | Replica.Primary_gone ->
+          incr gone;
+          if !gone > 5 then
+            fail st ~what:(who ^ ": primary unreachable during catch-up")
+              ~detail:[ Printf.sprintf "%d consecutive failed pulls" !gone ]
+          else go (budget - 1)
+      | (_ : Replica.progress) ->
+          gone := 0;
+          go (budget - 1)
+  in
+  go 5_000
+
+let with_faults_paused st f =
+  let armed = st.fault_until <> None in
+  if armed then Array.iter (fun fn -> Failpoint.disarm fn.fp) st.fols;
+  Fun.protect
+    ~finally:(fun () ->
+      if armed then Array.iter (fun fn -> Failpoint.arm fn.fp) st.fols)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* the three invariant families *)
+
+let client_heads c =
+  Convergence.normalize
+    (List.map
+       (fun key ->
+         ( key,
+           List.map
+             (fun (b, cid) -> (b, Fbchunk.Cid.to_hex cid))
+             (Client.list_branches c ~key) ))
+       (Client.list_keys c))
+
+let fsck_dir_clean st ~ctx dir =
+  let report = Fsck.check_dir dir in
+  st.stores_fscked <- st.stores_fscked + 1;
+  if not (Fsck.ok report) then
+    fail st
+      ~what:(Printf.sprintf "fsck violations in %s (%s)" dir ctx)
+      ~detail:(List.map Fsck.violation_to_string report.Fsck.violations)
+
+(* Quiesce and assert everything: followers caught up, heads converged,
+   application state model-consistent on every store, follower stores
+   fsck-clean. *)
+let verify_all st ~reason =
+  with_faults_paused st @@ fun () ->
+  Array.iteri
+    (fun i fn -> catch_up st fn ~who:(Printf.sprintf "follower %d" i))
+    st.fols;
+  let primary_heads = client_heads st.client in
+  Array.iteri
+    (fun i fn ->
+      let fh = Convergence.of_db (Replica.db fn.rep) in
+      st.convergence_checks <- st.convergence_checks + 1;
+      let diverged =
+        Convergence.diff ~left_name:"primary"
+          ~right_name:(Printf.sprintf "follower %d" i)
+          ~left:primary_heads ~right:fh
+      in
+      if diverged <> [] then
+        fail st
+          ~what:(Printf.sprintf "replication diverged (%s)" reason)
+          ~detail:diverged)
+    st.fols;
+  let model_diff = Apps.check_client st.apps st.client in
+  st.model_checks <- st.model_checks + 1;
+  if model_diff <> [] then
+    fail st
+      ~what:(Printf.sprintf "primary state diverged from the model (%s)" reason)
+      ~detail:model_diff;
+  Array.iteri
+    (fun i fn ->
+      let d = Apps.check_db st.apps (Replica.db fn.rep) in
+      st.model_checks <- st.model_checks + 1;
+      if d <> [] then
+        fail st
+          ~what:
+            (Printf.sprintf "follower %d state diverged from the model (%s)" i
+               reason)
+          ~detail:d;
+      let report = Fsck.check_db (Replica.db fn.rep) in
+      st.stores_fscked <- st.stores_fscked + 1;
+      if not (Fsck.ok report) then
+        fail st
+          ~what:(Printf.sprintf "fsck violations on follower %d (%s)" i reason)
+          ~detail:(List.map Fsck.violation_to_string report.Fsck.violations))
+    st.fols;
+  st.full_verifies <- st.full_verifies + 1;
+  st.cfg.log
+    (Printf.sprintf "[op %d] verify ok (%s): %d keys converged on %d followers"
+       st.op reason (List.length primary_heads) (Array.length st.fols))
+
+(* ------------------------------------------------------------------ *)
+(* chaos events *)
+
+let record_fired st ev =
+  let kind = Chaos.kind_name ev in
+  Hashtbl.replace st.fired_kinds kind
+    (1 + Option.value ~default:0 (Hashtbl.find_opt st.fired_kinds kind));
+  let line = Chaos.scheduled_to_string { Chaos.at = st.op; event = ev } in
+  st.fired <- line :: st.fired;
+  st.cfg.log ("chaos " ^ line)
+
+let close_client st =
+  try Client.close st.client
+  (* closing a connection to an already-dead server *)
+  with _ -> () (* lint: allow no-swallow *)
+
+let disarm_all st =
+  Array.iter (fun fn -> Failpoint.disarm fn.fp) st.fols;
+  st.fault_until <- None
+
+let fire st ev =
+  record_fired st ev;
+  match ev with
+  | Chaos.Fault_followers { fp_seed; arm_ops } ->
+      (* fresh per-follower fault plans from the event's seed; reopening
+         the follower (a crash-recoverable restart in itself) is what
+         threads the plan into its store *)
+      let s = Splitmix.create fp_seed in
+      Array.iter
+        (fun fn ->
+          Replica.close fn.rep;
+          retire_fp st fn
+            (Failpoint.random ~seed:(Splitmix.next s) ~ops:4096 ~put_fail:0.15
+               ~get_drop:0.15 ());
+          (* the store must reopen (recovery reads its own files) before
+             the plan starts firing *)
+          Failpoint.disarm fn.fp;
+          open_fnode st fn;
+          Failpoint.arm fn.fp)
+        st.fols;
+      st.fault_until <- Some (st.op + arm_ops)
+  | Chaos.Kill_restart_primary ->
+      close_client st;
+      Procs.kill st.primary;
+      fsck_dir_clean st ~ctx:"primary store after SIGKILL" st.pdir;
+      st.primary <- Proc.spawn_primary ~port:st.port ~dir:st.pdir ();
+      st.client <- connect st;
+      verify_all st ~reason:"after kill-restart"
+  | Chaos.Force_compaction ->
+      let chunks, bytes = Client.checkpoint st.client in
+      st.cfg.log
+        (Printf.sprintf "[op %d] compaction reclaimed %d chunks, %d bytes"
+           st.op chunks bytes);
+      (* let the followers race the rotated journal right away *)
+      Array.iter sync_once st.fols;
+      verify_all st ~reason:"after forced compaction"
+  | Chaos.Promote_follower ->
+      (* quiesce, then fail over to follower 0's store on the same port *)
+      disarm_all st;
+      Array.iteri
+        (fun i fn -> catch_up st fn ~who:(Printf.sprintf "follower %d" i))
+        st.fols;
+      close_client st;
+      Procs.kill st.primary;
+      fsck_dir_clean st ~ctx:"old primary after SIGKILL" st.pdir;
+      let fn0 = st.fols.(0) in
+      Replica.close fn0.rep;
+      fsck_dir_clean st ~ctx:"follower store about to be promoted" fn0.fdir;
+      let old_pdir = st.pdir in
+      st.pdir <- fn0.fdir;
+      st.primary <- Proc.spawn_primary ~port:st.port ~dir:st.pdir ();
+      (* recycle the old primary's store as a fresh follower: it is a
+         complete durable store, so it bootstraps by journal pull *)
+      fn0.fdir <- old_pdir;
+      retire_fp st fn0 (Failpoint.none ());
+      open_fnode st fn0;
+      st.client <- connect st;
+      verify_all st ~reason:"after promotion"
+
+(* the deliberate-corruption hook: prove a damaged store cannot pass *)
+let sabotage st =
+  let fn0 = st.fols.(0) in
+  Replica.close fn0.rep;
+  let path = Filename.concat fn0.fdir "chunks.log" in
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  close_in ic;
+  let i = ref (len / 2) in
+  while !i < len do
+    Bytes.set b !i (Char.chr (Char.code (Bytes.get b !i) lxor 0x55));
+    i := !i + 131
+  done;
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  st.cfg.log
+    (Printf.sprintf "[op %d] sabotage: corrupted %s from byte %d" st.op path
+       (len / 2));
+  let report = Fsck.check_dir fn0.fdir in
+  st.stores_fscked <- st.stores_fscked + 1;
+  if Fsck.ok report then
+    fail st ~what:"sabotaged store passed fsck"
+      ~detail:[ "corruption was injected but no violation was reported" ]
+  else
+    fail st ~what:"fsck violations on follower 0 (sabotaged store)"
+      ~detail:(List.map Fsck.violation_to_string report.Fsck.violations)
+
+(* ------------------------------------------------------------------ *)
+(* the run *)
+
+let run cfg =
+  if cfg.followers < 1 then invalid_arg "Soak.run: need at least one follower";
+  if cfg.total_ops < 10 then invalid_arg "Soak.run: need at least 10 ops";
+  let scratch = fresh_scratch cfg in
+  let schedule =
+    Chaos.schedule ~seed:cfg.seed ~total_ops:cfg.total_ops
+      ~events:cfg.chaos_events
+  in
+  List.iter (fun s -> cfg.log ("scheduled " ^ Chaos.scheduled_to_string s))
+    schedule;
+  let pdir = Filename.concat scratch "store-0" in
+  let primary = Proc.spawn_primary ~dir:pdir () in
+  let port = Procs.port primary in
+  let fols =
+    Array.init cfg.followers (fun i ->
+        {
+          rep =
+            Replica.open_follower ~retries:10
+              ~dir:(Filename.concat scratch (Printf.sprintf "store-%d" (i + 1)))
+              ~host:"127.0.0.1" ~port ();
+          fdir = Filename.concat scratch (Printf.sprintf "store-%d" (i + 1));
+          fp = Failpoint.none ();
+        })
+  in
+  let st =
+    {
+      cfg;
+      schedule;
+      pending = schedule;
+      fired = [];
+      fired_kinds = Hashtbl.create 8;
+      apps =
+        Apps.create ~seed:cfg.seed ~kv_keys:cfg.kv_keys
+          ~wiki_pages:cfg.wiki_pages ~accounts:cfg.accounts ~theta:cfg.theta
+          ~page_bytes:cfg.page_bytes ~value_bytes:cfg.value_bytes;
+      port;
+      primary;
+      pdir;
+      client = Client.connect ~retries:100 ~port ();
+      fols;
+      fault_until = None;
+      faults_injected = 0;
+      full_verifies = 0;
+      stores_fscked = 0;
+      convergence_checks = 0;
+      model_checks = 0;
+      op = 0;
+      scratch;
+    }
+  in
+  let timed_out = ref false in
+  let started =
+    match cfg.deadline with None -> 0. | Some _ -> Unix.gettimeofday ()
+  in
+  let over_deadline () =
+    match cfg.deadline with
+    | None -> false
+    | Some s -> Unix.gettimeofday () -. started > s
+  in
+  let cleanup ~failed =
+    disarm_all st;
+    close_client st;
+    Procs.kill st.primary;
+    Array.iter
+      (* teardown of possibly-failed state *)
+      (fun fn -> try Replica.close fn.rep with _ -> () (* lint: allow no-swallow *))
+      st.fols;
+    if (not failed) && not cfg.keep_scratch then rm_rf st.scratch
+  in
+  let failed = ref true in
+  Fun.protect ~finally:(fun () -> cleanup ~failed:!failed) @@ fun () ->
+  let result =
+    try
+      let continue_ = ref true in
+      while !continue_ && st.op < cfg.total_ops do
+        st.op <- st.op + 1;
+        (* chaos due at this operation? *)
+        (match st.pending with
+        | { Chaos.at; event } :: rest when at = st.op ->
+            st.pending <- rest;
+            fire st event
+        | _ -> ());
+        (match cfg.sabotage_at with
+        | Some n when n = st.op -> sabotage st
+        | _ -> ());
+        (* fault window closing? heal, then verify everything *)
+        (match st.fault_until with
+        | Some u when st.op >= u ->
+            disarm_all st;
+            verify_all st ~reason:"after fault window"
+        | _ -> ());
+        Apps.step st.apps st.client ~op:st.op;
+        if st.op mod cfg.sync_every = 0 then Array.iter sync_once st.fols;
+        if st.op mod cfg.verify_every = 0 then
+          verify_all st ~reason:"periodic";
+        if st.op land 63 = 0 && over_deadline () then begin
+          timed_out := true;
+          continue_ := false
+        end
+      done;
+      disarm_all st;
+      verify_all st ~reason:"final";
+      (* graceful shutdown, then fsck every store from its directory *)
+      (try Client.quit_server st.client (* server may already be draining *)
+       with _ -> () (* lint: allow no-swallow *));
+      close_client st;
+      Procs.reap st.primary;
+      fsck_dir_clean st ~ctx:"primary store after shutdown" st.pdir;
+      Array.iteri
+        (fun i fn ->
+          Replica.close fn.rep;
+          fsck_dir_clean st
+            ~ctx:(Printf.sprintf "follower %d store after shutdown" i)
+            fn.fdir;
+          (* reopen so cleanup's close is harmless *)
+          open_fnode st fn)
+        st.fols;
+      Array.iter (fun fn -> retire_fp st fn (Failpoint.none ())) st.fols;
+      {
+        ops_done = st.op;
+        events_fired =
+          List.map
+            (fun k ->
+              (k, Option.value ~default:0 (Hashtbl.find_opt st.fired_kinds k)))
+            Chaos.all_kind_names;
+        inline_checks = Apps.inline_checks st.apps;
+        full_verifies = st.full_verifies;
+        stores_fscked = st.stores_fscked;
+        convergence_checks = st.convergence_checks;
+        model_checks = st.model_checks;
+        faults_injected = st.faults_injected;
+        ops_by_app = Apps.ops_by_app st.apps;
+        timed_out = !timed_out;
+      }
+    with
+    | Soak_failed _ as e -> raise e
+    | Apps.Mismatch lines ->
+        fail st ~what:"inline read-back diverged from the model" ~detail:lines
+    | e ->
+        fail st
+          ~what:("unexpected exception: " ^ Printexc.to_string e)
+          ~detail:
+            (String.split_on_char '\n' (Printexc.get_backtrace ()))
+  in
+  failed := false;
+  result

@@ -1,0 +1,38 @@
+type 'a t = { items : 'a array; cumulative : float array }
+
+let create pairs =
+  if pairs = [] then invalid_arg "Mixer.create: empty mix";
+  List.iter
+    (fun (_, w) ->
+      if not (Float.is_finite w) || w <= 0.0 then
+        invalid_arg "Mixer.create: weights must be positive")
+    pairs;
+  let items = Array.of_list (List.map fst pairs) in
+  let weights = Array.of_list (List.map snd pairs) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cumulative = Array.make (Array.length weights) 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cumulative.(i) <- !acc)
+    weights;
+  cumulative.(Array.length cumulative - 1) <- 1.0;
+  { items; cumulative }
+
+let pick t rng =
+  let u = Fbutil.Splitmix.float rng in
+  let lo = ref 0 and hi = ref (Array.length t.items - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cumulative.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  t.items.(!lo)
+
+let weights t =
+  Array.to_list
+    (Array.mapi
+       (fun i item ->
+         let prev = if i = 0 then 0.0 else t.cumulative.(i - 1) in
+         (item, t.cumulative.(i) -. prev))
+       t.items)

@@ -1,0 +1,21 @@
+(** Weighted mixing of heterogeneous traffic sources.
+
+    The soak harness (lib/soak) runs several applications against one
+    store at once; a mixer picks which application issues the next
+    operation, with fixed relative weights, deterministically from the
+    driving PRNG — so a mixed-workload run replays exactly from its
+    seed. *)
+
+type 'a t
+
+val create : ('a * float) list -> 'a t
+(** [create [(a, wa); (b, wb); ...]] draws [a] with probability
+    [wa / (wa + wb + ...)].  Weights must be positive and the list
+    non-empty.
+    @raise Invalid_argument otherwise. *)
+
+val pick : 'a t -> Fbutil.Splitmix.t -> 'a
+(** One weighted draw. *)
+
+val weights : 'a t -> ('a * float) list
+(** The normalized weights, in creation order (sums to 1). *)

@@ -156,30 +156,10 @@ let test_handle () =
 
 (* --- server-process plumbing --- *)
 
-(* Fork a server child on an ephemeral port; returns (port, pid).  The
-   child serves a fresh in-memory db until Quit. *)
-let spawn_server ?config () =
-  let listen_fd = Server.listen ~port:0 () in
-  let port = Server.bound_port listen_fd in
-  match Unix.fork () with
-  | 0 ->
-      let db = Forkbase.Db.create (Fbchunk.Chunk_store.mem_store ()) in
-      (try ignore (Server.serve ?config db listen_fd : Server.counters)
-       with _ -> ());
-      Unix._exit 0
-  | pid ->
-      Unix.close listen_fd;
-      (port, pid)
-
-let with_server ?config f =
-  let port, pid = spawn_server ?config () in
-  Fun.protect
-    ~finally:(fun () ->
-      (* belt and braces: if the test failed before Quit, don't leak the
-         child or hang the suite *)
-      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
-      ignore (Unix.waitpid [] pid))
-    (fun () -> f port)
+(* A server child on an ephemeral port serving a fresh in-memory db
+   until Quit — shared plumbing in Testnet (which also SIGKILLs and
+   reaps the child if the test fails before Quit). *)
+let with_server ?config f = Testnet.with_mem_server ?config f
 
 let raw_connect port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in

@@ -14,20 +14,8 @@ module Client = Fbremote.Client
 module Replica = Fbreplica.Replica
 module Splitmix = Fbutil.Splitmix
 
-let with_temp_dir f =
-  let dir =
-    Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "fbreplica-%d-%d" (Unix.getpid ()) (Random.int 1_000_000))
-  in
-  Unix.mkdir dir 0o755;
-  let rm_rf dir =
-    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
-    Unix.rmdir dir
-  in
-  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
-
-let with_temp_dirs2 f =
-  with_temp_dir (fun a -> with_temp_dir (fun b -> f a b))
+let with_temp_dir = Testnet.with_temp_dir
+let with_temp_dirs2 = Testnet.with_temp_dirs2
 
 let journal_path dir = Filename.concat dir "branches.journal"
 
@@ -202,35 +190,9 @@ let test_handle_replication () =
 
 (* --- socket-level primary/follower harness --- *)
 
-(* Fork a durable primary serving [dir] on an ephemeral port (with
-   journal hooks and compaction), as `forkbase serve` would run it. *)
-let spawn_primary dir =
-  let listen_fd = Server.listen ~port:0 () in
-  let port = Server.bound_port listen_fd in
-  match Unix.fork () with
-  | 0 ->
-      let p = Persist.open_db dir in
-      (try
-         ignore
-           (Server.serve
-              ~checkpoint:(fun () -> Persist.compact p)
-              ~journal:(Replica.journal_hooks p)
-              (Persist.db p) listen_fd
-             : Server.counters)
-       with _ -> ());
-      (try Persist.close p with _ -> ());
-      Unix._exit 0
-  | pid ->
-      Unix.close listen_fd;
-      (port, pid)
-
-let with_primary dir f =
-  let port, pid = spawn_primary dir in
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
-      ignore (Unix.waitpid [] pid))
-    (fun () -> f port)
+(* A durable primary child serving [dir] (journal hooks, compaction), as
+   `forkbase serve` would run it — shared plumbing in Testnet. *)
+let with_primary dir f = Testnet.with_primary dir f
 
 (* Model-driver-style randomized write workload, driven over the wire so
    it executes inside the primary server process. *)
@@ -467,21 +429,6 @@ let test_promotion () =
 
 (* --- a serving follower: read scaling + typed write redirect --- *)
 
-let spawn_follower ~fdir ~primary_port =
-  let listen_fd = Server.listen ~port:0 () in
-  let port = Server.bound_port listen_fd in
-  match Unix.fork () with
-  | 0 ->
-      let f =
-        Replica.open_follower ~dir:fdir ~host:"127.0.0.1" ~port:primary_port ()
-      in
-      (try ignore (Replica.serve f listen_fd : Server.counters) with _ -> ());
-      (try Replica.close f with _ -> ());
-      Unix._exit 0
-  | pid ->
-      Unix.close listen_fd;
-      (port, pid)
-
 let test_serving_follower_reads_and_redirects () =
   with_temp_dirs2 @@ fun pdir fdir ->
   with_primary pdir @@ fun pport ->
@@ -490,12 +437,7 @@ let test_serving_follower_reads_and_redirects () =
   let (_ : Cid.t) = Client.put c ~key:"page" (Wire.Blob (String.make 50_000 'p')) in
   let (_ : Cid.t) = Client.put c ~key:"page" (Wire.Str "latest") in
   let primary_seq = (Client.stats c).Wire.journal_seq in
-  let fport, fpid = spawn_follower ~fdir ~primary_port:pport in
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.kill fpid Sys.sigkill with Unix.Unix_error _ -> ());
-      ignore (Unix.waitpid [] fpid))
-  @@ fun () ->
+  Testnet.with_follower_server ~fdir ~primary_port:pport @@ fun fport ->
   let fc = Client.connect ~retries:10 ~port:fport () in
   Fun.protect ~finally:(fun () -> Client.close fc) @@ fun () ->
   (* the sync loop runs as the follower server's tick: poll its stats
@@ -546,6 +488,172 @@ let test_serving_follower_reads_and_redirects () =
   Client.quit_server fc;
   Client.quit_server c
 
+(* --- promotion under concurrent writes --- *)
+
+(* A separate writer process hammers the primary while the follower
+   catches up mid-stream; after a quiesce, the follower's store fails
+   over to primary duty (served by a fresh child process, as the soak's
+   promotion events do) and must accept writes, continue the journal
+   sequence, and support chaining a brand-new follower. *)
+let test_promotion_under_concurrent_writes () =
+  with_temp_dirs2 @@ fun pdir fdir ->
+  let promoted_seq = ref 0 in
+  (with_primary pdir @@ fun pport ->
+   let c = Client.connect ~retries:10 ~port:pport () in
+   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+   let (_ : Cid.t) = Client.put c ~key:"seed" (Wire.Str "s") in
+   let writer =
+     match Unix.fork () with
+     | 0 ->
+         let wc = Client.connect ~retries:10 ~port:pport () in
+         for i = 1 to 800 do
+           ignore
+             (Client.put wc
+                ~key:(Printf.sprintf "w%d" (i mod 8))
+                (Wire.Str (string_of_int i))
+               : Cid.t)
+         done;
+         Client.close wc;
+         Unix._exit 0
+     | pid -> pid
+   in
+   let f = Replica.open_follower ~dir:fdir ~host:"127.0.0.1" ~port:pport () in
+   Fun.protect ~finally:(fun () -> Replica.close f) @@ fun () ->
+   (* sync while the writer is still producing: entries applied before
+      the writer exits prove the catch-up genuinely overlapped writes *)
+   let overlapped = ref false in
+   let rec drive () =
+     let progress = Replica.sync_step f in
+     match Unix.waitpid [ Unix.WNOHANG ] writer with
+     | 0, _ ->
+         (match progress with
+         | Replica.Applied n when n > 0 -> overlapped := true
+         | _ -> ());
+         drive ()
+     | _ -> ()
+   in
+   drive ();
+   Alcotest.(check bool) "follower applied entries while the writer was live"
+     true !overlapped;
+   (* quiesce, then record where the journal stands for the failover *)
+   Replica.sync_until_caught_up f;
+   assert_converged c f;
+   promoted_seq := Replica.seq f);
+  (* leaving with_primary SIGKILLed the old primary: a crash.  Fail over:
+     the follower's directory is a complete store — serve it as the new
+     primary. *)
+  Testnet.with_primary fdir @@ fun newport ->
+  let nc = Client.connect ~retries:10 ~port:newport () in
+  Fun.protect ~finally:(fun () -> Client.close nc) @@ fun () ->
+  let (_ : Cid.t) = Client.put nc ~key:"promoted" (Wire.Str "accepted") in
+  Alcotest.(check int) "journal sequence continues across promotion"
+    (!promoted_seq + 1)
+    (Client.stats nc).Wire.journal_seq;
+  (* a brand-new follower chains off the promoted primary *)
+  with_temp_dir @@ fun f2dir ->
+  let f2 = Replica.open_follower ~dir:f2dir ~host:"127.0.0.1" ~port:newport () in
+  Fun.protect ~finally:(fun () -> Replica.close f2) @@ fun () ->
+  Replica.sync_until_caught_up f2;
+  assert_converged nc f2;
+  let report = Fbcheck.Fsck.check_db (Replica.db f2) in
+  Alcotest.(check bool) "chained follower fscks clean" true
+    (Fbcheck.Fsck.ok report);
+  Client.quit_server nc
+
+(* --- gc (checkpoint + compaction) racing follower catch-up --- *)
+
+(* `forkbase gc --dry-run` (Persist.garbage_stats) must be a pure
+   measurement: a follower parked at seq 0 can still pull every mutation
+   entry afterwards.  The real sweep rotates the journal, after which the
+   same pull position is answered with a single snapshot entry. *)
+let test_gc_dry_run_preserves_catch_up () =
+  with_temp_dir @@ fun dir ->
+  let p = Persist.open_db dir in
+  Fun.protect ~finally:(fun () -> Persist.close p) @@ fun () ->
+  let db = Persist.db p in
+  for i = 1 to 20 do
+    let (_ : Cid.t) =
+      Db.put db ~key:(Printf.sprintf "k%d" (i mod 3)) (Db.str (string_of_int i))
+    in
+    ()
+  done;
+  (* committed versions all stay reachable via the derivation DAG;
+     garbage = value trees chunked but never committed to a version *)
+  for i = 1 to 5 do
+    let payload =
+      String.init 4096 (fun j -> Char.chr ((i * 7 + j * 13) land 0xff))
+    in
+    let (_ : Fbtypes.Value.t) = Db.blob db payload in
+    ()
+  done;
+  let seq = Persist.journal_seq p in
+  let gchunks, gbytes = Persist.garbage_stats p in
+  Alcotest.(check bool) "orphaned values are garbage" true
+    (gchunks > 0 && gbytes > 0);
+  let entries = Persist.pull_entries p ~from_seq:0 ~max_entries:1000 in
+  Alcotest.(check int) "dry run left every mutation entry pullable" seq
+    (List.length entries);
+  Alcotest.(check bool) "dry run forced no snapshot" true
+    (List.for_all
+       (fun (_, records) ->
+         List.for_all
+           (function Journal.Checkpoint _ -> false | _ -> true)
+           records)
+       entries);
+  let chunks, _bytes = Persist.compact p in
+  Alcotest.(check bool) "real gc reclaimed the measured garbage" true
+    (chunks >= gchunks);
+  match Persist.pull_entries p ~from_seq:0 ~max_entries:1000 with
+  | [ (s, [ Journal.Checkpoint _ ]) ] ->
+      Alcotest.(check int) "snapshot stamped with the covered seq" seq s
+  | _ -> Alcotest.fail "expected a single snapshot entry after gc"
+
+(* The same race over real sockets: the follower parks mid-journal
+   (a batch boundary), the primary gc-compacts the entries it still
+   needs away, and the follower must re-pull by snapshot and converge
+   fsck-clean. *)
+let test_gc_races_follower_catch_up () =
+  with_temp_dirs2 @@ fun pdir fdir ->
+  with_primary pdir @@ fun port ->
+  let c = Client.connect ~retries:10 ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* more entries than one pull batch, with heavy overwriting garbage *)
+  for i = 1 to Replica.pull_batch + 44 do
+    ignore
+      (Client.put c
+         ~key:(Printf.sprintf "g%d" (i mod 4))
+         (Wire.Str (string_of_int i))
+        : Cid.t)
+  done;
+  let f = Replica.open_follower ~dir:fdir ~host:"127.0.0.1" ~port () in
+  Fun.protect ~finally:(fun () -> Replica.close f) @@ fun () ->
+  (* one pull round only: the follower parks at the batch boundary *)
+  (match Replica.sync_step f with
+  | Replica.Applied n -> Alcotest.(check bool) "first batch applied" true (n > 0)
+  | _ -> Alcotest.fail "expected the first batch to apply");
+  let parked = Replica.seq f in
+  Alcotest.(check bool) "parked mid-journal" true
+    (parked < (Client.stats c).Wire.journal_seq);
+  (* gc on the live primary rotates the journal beneath the parked
+     follower (reclaim volume is incidental here — committed versions
+     stay reachable — the race is about the rotation) *)
+  let (_ : int * int) = Client.checkpoint c in
+  for i = 1 to 10 do
+    ignore
+      (Client.put c ~key:(Printf.sprintf "post%d" i) (Wire.Str "after-gc")
+        : Cid.t)
+  done;
+  (* the parked position is gone; the next pulls answer with the
+     snapshot and the journal tail, and the follower still converges *)
+  Replica.sync_until_caught_up f;
+  Alcotest.(check bool) "follower advanced past the rotated entries" true
+    (Replica.seq f > parked);
+  assert_converged c f;
+  let report = Fbcheck.Fsck.check_db (Replica.db f) in
+  Alcotest.(check bool) "follower fscks clean after snapshot re-pull" true
+    (Fbcheck.Fsck.ok report);
+  Client.quit_server c
+
 let () =
   Alcotest.run "replica"
     [
@@ -575,5 +683,14 @@ let () =
           Alcotest.test_case "promotion" `Quick test_promotion;
           Alcotest.test_case "serving follower: reads + redirect" `Quick
             test_serving_follower_reads_and_redirects;
+          Alcotest.test_case "promotion under concurrent writes" `Quick
+            test_promotion_under_concurrent_writes;
+        ] );
+      ( "gc-race",
+        [
+          Alcotest.test_case "dry run preserves catch-up" `Quick
+            test_gc_dry_run_preserves_catch_up;
+          Alcotest.test_case "gc races follower catch-up" `Quick
+            test_gc_races_follower_catch_up;
         ] );
     ]

@@ -1,6 +1,7 @@
 (* Workload generators: distribution properties and determinism. *)
 
 module Zipf = Workload.Zipf
+module Mixer = Workload.Mixer
 module Ycsb = Workload.Ycsb
 module Text_edit = Workload.Text_edit
 
@@ -82,6 +83,88 @@ let test_text_edit_model () =
   done;
   Alcotest.(check int) "inserts grow" (5000 + 320) (String.length !p)
 
+(* Goodness of fit under a fixed seed: the sampled frequencies must match
+   the zipfian pmf p(i) ∝ 1/(i+1)^theta by Pearson's chi-square.  With
+   df = n-1 = 11 the 99.9% critical value is 31.26; a correct sampler
+   under this pinned seed lands far below it, a subtly wrong one (e.g.
+   the uniform distribution, checked as a control) lands far above. *)
+let test_zipf_chi_square () =
+  let n = 12 and theta = 0.8 and draws = 30_000 in
+  let z = Zipf.create ~n ~theta in
+  let rng = Fbutil.Splitmix.create 0x21F5EEDL in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let i = Zipf.sample z rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let chi2_against expected_of =
+    let chi2 = ref 0.0 in
+    Array.iteri
+      (fun i c ->
+        let e = expected_of i in
+        let d = float_of_int c -. e in
+        chi2 := !chi2 +. (d *. d /. e))
+      counts;
+    !chi2
+  in
+  let zipf_chi2 =
+    chi2_against (fun i -> float_of_int draws *. weights.(i) /. total)
+  in
+  let uniform_chi2 =
+    chi2_against (fun _ -> float_of_int draws /. float_of_int n)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fits the zipfian pmf (chi2 = %.2f < 31.26)" zipf_chi2)
+    true (zipf_chi2 < 31.26);
+  Alcotest.(check bool)
+    (Printf.sprintf "control: rejects uniform (chi2 = %.0f)" uniform_chi2)
+    true (uniform_chi2 > 1_000.0)
+
+(* --- mixer (weighted application multiplexing for the soak) --- *)
+
+let test_mixer_frequencies () =
+  let m = Mixer.create [ ("a", 5.0); ("b", 3.0); ("c", 2.0) ] in
+  (match Mixer.weights m with
+  | [ ("a", wa); ("b", wb); ("c", wc) ] ->
+      Alcotest.(check (float 1e-9)) "normalized a" 0.5 wa;
+      Alcotest.(check (float 1e-9)) "normalized b" 0.3 wb;
+      Alcotest.(check (float 1e-9)) "normalized c" 0.2 wc
+  | _ -> Alcotest.fail "weights order");
+  let rng = Fbutil.Splitmix.create 0x313BL in
+  let counts = Hashtbl.create 3 in
+  let draws = 20_000 in
+  for _ = 1 to draws do
+    let k = Mixer.pick m rng in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  List.iter
+    (fun (k, w) ->
+      let freq =
+        float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts k))
+        /. float_of_int draws
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s frequency %.3f within 0.02 of %.1f" k freq w)
+        true
+        (Float.abs (freq -. w) < 0.02))
+    (Mixer.weights m)
+
+let test_mixer_validation () =
+  let raises f =
+    match f () with
+    | (_ : string Mixer.t) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty rejected" true (raises (fun () -> Mixer.create []));
+  Alcotest.(check bool) "zero weight rejected" true
+    (raises (fun () -> Mixer.create [ ("a", 0.0) ]));
+  Alcotest.(check bool) "negative weight rejected" true
+    (raises (fun () -> Mixer.create [ ("a", 1.0); ("b", -1.0) ]));
+  Alcotest.(check bool) "nan rejected" true
+    (raises (fun () -> Mixer.create [ ("a", Float.nan) ]))
+
 let () =
   Alcotest.run "workload"
     [
@@ -90,6 +173,12 @@ let () =
           Alcotest.test_case "uniform" `Quick test_zipf_uniform;
           Alcotest.test_case "skew" `Quick test_zipf_skew;
           Alcotest.test_case "range" `Quick test_zipf_range;
+          Alcotest.test_case "chi-square fit" `Quick test_zipf_chi_square;
+        ] );
+      ( "mixer",
+        [
+          Alcotest.test_case "frequencies" `Quick test_mixer_frequencies;
+          Alcotest.test_case "validation" `Quick test_mixer_validation;
         ] );
       ( "ycsb",
         [

@@ -1,0 +1,48 @@
+(* Shared plumbing for the socket suites (test_remote, test_replica,
+   test_soak): temp store directories plus child-process servers on
+   kernel-assigned ephemeral ports.  The port discipline lives in
+   Fbremote.Procs — bind port 0 in the parent, read the real port back,
+   then fork — so concurrent test binaries never collide on a fixed
+   port, and a killed server can respawn on the same one. *)
+
+module Procs = Fbremote.Procs
+module Proc = Fbreplica.Proc
+module Server = Fbremote.Server
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fbtestnet-%d-%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Unix.mkdir dir 0o755;
+  let rm_rf dir =
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let with_temp_dirs2 f =
+  with_temp_dir (fun a -> with_temp_dir (fun b -> f a b))
+
+let with_proc t f =
+  Fun.protect ~finally:(fun () -> Procs.kill t) (fun () -> f (Procs.port t))
+
+(* An in-memory (volatile) server child, as test_remote drives: enough
+   for protocol-level tests that never reopen the store. *)
+let with_mem_server ?config f =
+  with_proc
+    (Procs.spawn (fun listen_fd ->
+         let db = Forkbase.Db.create (Fbchunk.Chunk_store.mem_store ()) in
+         ignore (Server.serve ?config db listen_fd : Server.counters)))
+    f
+
+(* A durable primary child serving [dir], as `forkbase serve` runs it
+   (journal hooks, compaction trigger, group commit). *)
+let with_primary ?port ?group_commit dir f =
+  with_proc (Proc.spawn_primary ?port ?group_commit ~dir ()) f
+
+(* A serving catch-up follower child, as `forkbase follow` runs it. *)
+let with_follower_server ~fdir ~primary_port f =
+  with_proc
+    (Proc.spawn_follower ~dir:fdir ~host:"127.0.0.1" ~primary_port ())
+    f
