@@ -20,6 +20,8 @@ let experiments :
     ("fig13", "wiki", "wiki edit throughput/storage", Bench_wiki.fig13);
     ("fig14", "wiki", "wiki consecutive-version reads", Bench_wiki.fig14);
     ("fig15", "cluster", "storage distribution under skew", Bench_cluster.fig15);
+    ("sharded", "cluster", "real shard processes: scaling + chaos",
+     Bench_cluster.sharded);
     ("fig16", "tabular", "dataset modification", Bench_tabular.fig16);
     ("fig17a", "tabular", "version diff", Bench_tabular.fig17a);
     ("fig17b", "tabular", "aggregation queries", Bench_tabular.fig17b);

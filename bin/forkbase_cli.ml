@@ -17,7 +17,11 @@
      forkbase gc [--dry-run]
      forkbase serve [--port p]
      forkbase follow --of HOST:PORT [--port p]
-     forkbase replication-status [--of HOST:PORT] [--port p] *)
+     forkbase replication-status [--of HOST:PORT] [--port p]
+     forkbase shard --index i --map HOST:PORT,... [--port p]
+     forkbase dispatch (put|get|fork|merge|keys|branches) --via HOST:PORT ...
+     forkbase cluster-status --via HOST:PORT
+     forkbase cluster-add HOST:PORT --via HOST:PORT *)
 
 module Db = Forkbase.Db
 module Persist = Fbpersist.Persist
@@ -520,6 +524,261 @@ let lint_cmd =
           lib bin; exits 1 on any finding not covered by the baseline)")
     Term.(const run $ baseline_arg $ write_flag $ paths_arg)
 
+(* --- sharded serving: shard processes, dispatcher client, rebalance --- *)
+
+module Shard = Fbshard.Shard
+module Shard_map = Fbshard.Shard_map
+module Dispatch = Fbshard.Dispatch
+
+let die_bad_map f =
+  match f () with
+  | v -> v
+  | exception Shard_map.Bad_map reason ->
+      Printf.eprintf "error: %s\n" reason;
+      exit 2
+
+let shard_cmd =
+  let run index map_str port no_group_commit =
+    let addrs = die_bad_map (fun () -> Shard_map.parse_addrs map_str) in
+    let map = Shard_map.create ~version:1 addrs in
+    if index < 0 then begin
+      Printf.eprintf "error: --index must be >= 0\n";
+      exit 2
+    end;
+    (* an index beyond the map is a joining shard: it owns nothing (and
+       answers redirects) until 'forkbase cluster-add' installs the
+       grown map, and it must be given --port since the map has no
+       entry for it *)
+    let port =
+      match (port, index < Shard_map.n map) with
+      | Some p, _ -> p
+      | None, true -> snd (Shard_map.addr map index)
+      | None, false ->
+          Printf.eprintf
+            "error: --index %d is outside the %d-shard map; a joining shard \
+             needs an explicit --port\n"
+            index (Shard_map.n map);
+          exit 2
+    in
+    let listen_fd = Fbremote.Server.listen ~port () in
+    Printf.printf
+      "forkbase shard %d/%d listening on 127.0.0.1:%d (data in %s)\n%!" index
+      (Shard_map.n map)
+      (Fbremote.Server.bound_port listen_fd)
+      (data_dir ());
+    let k =
+      Shard.serve ~group_commit:(not no_group_commit) ~dir:(data_dir ())
+        ~self:index ~map listen_fd
+    in
+    Printf.printf "shard stopped.\n";
+    print_conn_counters ~accepted:k.Fbremote.Server.accepted ~active:k.active
+      ~closed_ok:k.closed_ok ~closed_err:k.closed_err ~frames_in:k.frames_in
+      ~frames_out:k.frames_out ~timeouts:k.timeouts
+      ~group_commits:k.group_commits ~acks_released:k.acks_released
+  in
+  let index_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "i"; "index" ] ~docv:"I"
+          ~doc:"This process's shard index in the partition map.")
+  in
+  let map_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "map" ] ~docv:"HOST:PORT,..."
+          ~doc:
+            "The version-1 partition map, one address per shard in index \
+             order.  A map already installed in the store directory (by a \
+             rebalance before a restart) wins if newer.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"Listen port (default: this shard's port in --map).")
+  in
+  let no_group_commit_arg =
+    Arg.(value & flag & info [ "no-group-commit" ])
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "serve this store as one shard of a partitioned cluster: only keys \
+          the partition map homes here are served (others are redirected to \
+          their owner; keys fenced mid-rebalance answer retry), and the map \
+          itself is served, installed, and persisted as a versioned artifact")
+    Term.(const run $ index_arg $ map_arg $ port_arg $ no_group_commit_arg)
+
+let via_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "via" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Any live shard; its partition map bootstraps the dispatcher, \
+           which then routes by key.")
+
+let with_dispatcher via f =
+  let host, port = parse_host_port via in
+  match Dispatch.connect ~host ~port () with
+  | exception Dispatch.Unroutable reason ->
+      Printf.eprintf "error: %s\n" reason;
+      exit 1
+  | d -> Fun.protect ~finally:(fun () -> Dispatch.close d) (fun () -> f d)
+
+let dispatch_cmd =
+  let put =
+    let run via branch key value context =
+      with_dispatcher via @@ fun d ->
+      let uid = Dispatch.put ~branch ~context d ~key (Fbremote.Wire.Str value) in
+      Printf.printf "%s\n" (Cid.to_hex uid)
+    in
+    let value_pos =
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"VALUE")
+    in
+    let context_arg =
+      Arg.(value & opt string "" & info [ "m"; "message" ] ~docv:"MSG")
+    in
+    Cmd.v
+      (Cmd.info "put" ~doc:"write through the dispatcher to the key's shard")
+      Term.(const run $ via_arg $ branch_arg $ key_pos $ value_pos $ context_arg)
+  in
+  let get =
+    let run via branch key =
+      with_dispatcher via @@ fun d ->
+      match Dispatch.get ~branch d ~key with
+      | Fbremote.Wire.Str s | Fbremote.Wire.Blob s -> print_endline s
+      | Fbremote.Wire.List l -> List.iter print_endline l
+      | Fbremote.Wire.Map m ->
+          List.iter (fun (k, v) -> Printf.printf "%s\t%s\n" k v) m
+      | Fbremote.Wire.Set s -> List.iter print_endline s
+    in
+    Cmd.v (Cmd.info "get" ~doc:"read through the dispatcher")
+      Term.(const run $ via_arg $ branch_arg $ key_pos)
+  in
+  let fork =
+    let run via key from_branch new_branch =
+      with_dispatcher via @@ fun d ->
+      Dispatch.fork d ~key ~from_branch ~new_branch;
+      Printf.printf "forked %s: %s -> %s\n" key from_branch new_branch
+    in
+    let from_pos =
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"FROM")
+    in
+    let new_pos =
+      Arg.(required & pos 2 (some string) None & info [] ~docv:"NEW")
+    in
+    Cmd.v (Cmd.info "fork" ~doc:"fork a branch on the key's shard")
+      Term.(const run $ via_arg $ key_pos $ from_pos $ new_pos)
+  in
+  let merge =
+    let run via key target ref_branch resolver =
+      with_dispatcher via @@ fun d ->
+      let uid = Dispatch.merge ~resolver d ~key ~target ~ref_branch in
+      Printf.printf "merged -> %s\n" (Cid.to_hex uid)
+    in
+    let target_pos =
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"TARGET")
+    in
+    let ref_pos =
+      Arg.(required & pos 2 (some string) None & info [] ~docv:"REF")
+    in
+    let resolver_arg =
+      Arg.(
+        value & opt string "manual"
+        & info [ "resolver" ] ~docv:"RESOLVER"
+            ~doc:"manual|left|right|append|aggregate")
+    in
+    Cmd.v (Cmd.info "merge" ~doc:"three-way merge on the key's shard")
+      Term.(const run $ via_arg $ key_pos $ target_pos $ ref_pos $ resolver_arg)
+  in
+  let keys =
+    let run via =
+      with_dispatcher via @@ fun d ->
+      List.iter print_endline (Dispatch.list_keys d)
+    in
+    Cmd.v (Cmd.info "keys" ~doc:"list keys across every shard")
+      Term.(const run $ via_arg)
+  in
+  let branches =
+    let run via key =
+      with_dispatcher via @@ fun d ->
+      List.iter
+        (fun (name, uid) -> Printf.printf "%s\t%s\n" name (Cid.to_hex uid))
+        (Dispatch.list_branches d ~key)
+    in
+    Cmd.v (Cmd.info "branches" ~doc:"list a key's branches on its shard")
+      Term.(const run $ via_arg $ key_pos)
+  in
+  Cmd.group
+    (Cmd.info "dispatch"
+       ~doc:
+         "client operations routed through a map-caching dispatcher: each \
+          op lands on its key's home shard, stale maps self-heal via \
+          redirects, and rebalance fences are ridden out with retries")
+    [ put; get; fork; merge; keys; branches ]
+
+let cluster_status_cmd =
+  let run via =
+    with_dispatcher via @@ fun d ->
+    let map = Dispatch.map d in
+    Printf.printf "%s\n" (Shard_map.to_string map);
+    List.iteri
+      (fun i s ->
+        let host, port = Shard_map.addr map i in
+        Printf.printf
+          "shard %d @ %s:%d  map v%d  keys=%d branches=%d chunks=%d \
+           bytes=%d journal seq=%d\n"
+          s.Fbremote.Wire.shard_index host port s.Fbremote.Wire.map_version
+          s.Fbremote.Wire.keys s.Fbremote.Wire.branches
+          s.Fbremote.Wire.chunks s.Fbremote.Wire.bytes
+          s.Fbremote.Wire.journal_seq)
+      (Dispatch.stats d)
+  in
+  Cmd.v
+    (Cmd.info "cluster-status"
+       ~doc:
+         "show the partition map (version, addresses, any rebalance fence) \
+          and every shard's stats")
+    Term.(const run $ via_arg)
+
+let cluster_add_cmd =
+  let run via addr =
+    let host, port = parse_host_port addr in
+    with_dispatcher via @@ fun d ->
+    match Dispatch.add_shard d ~host ~port with
+    | moved ->
+        let map = Dispatch.map d in
+        Printf.printf "added %s:%d as shard %d; %d keys moved (map now v%d)\n"
+          host port
+          (Shard_map.n map - 1)
+          moved map.Fbremote.Wire.version
+    | exception Dispatch.Rebalance_failed reason ->
+        Printf.eprintf "error: %s\n" reason;
+        exit 1
+  in
+  let addr_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"HOST:PORT"
+          ~doc:
+            "The new shard, already running (e.g. 'forkbase shard' with the \
+             current map and an out-of-range --index: it owns nothing until \
+             the rebalance installs the grown map).")
+  in
+  Cmd.v
+    (Cmd.info "cluster-add"
+       ~doc:
+         "grow the cluster by one running shard: fence the moving keys on \
+          every shard, copy their branches and chunk closures to the new \
+          owner, then lift the fence — writers only ever see bounded \
+          redirect/retry windows, never a lost acknowledged write")
+    Term.(const run $ via_arg $ addr_pos)
+
 let checkpoint_cmd =
   let run () =
     with_store @@ fun p ->
@@ -532,7 +791,7 @@ let checkpoint_cmd =
     Term.(const run $ const ())
 
 let soak_cmd =
-  let run profile seconds ops seed quiet =
+  let run profile seconds ops seed quiet shards =
     let seed =
       match seed with
       | None -> None
@@ -553,7 +812,12 @@ let soak_cmd =
           Printf.eprintf "error: --profile expects short or long, got %S\n" p;
           exit 2
     in
-    match Fbsoak.Soak.run cfg with
+    let run_cfg cfg =
+      match shards with
+      | Some n -> Fbsoak.Soak.run_sharded ~shards:n cfg
+      | None -> Fbsoak.Soak.run cfg
+    in
+    match run_cfg cfg with
     | o ->
         let open Fbsoak.Soak in
         Printf.printf
@@ -613,6 +877,18 @@ let soak_cmd =
       value & flag
       & info [ "q"; "quiet" ] ~doc:"Only print the final summary line.")
   in
+  let shards_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Soak a sharded topology instead: a seeded mixed workload \
+             through a dispatcher over $(docv) real shard processes, with \
+             one shard SIGKILLed and respawned and one live rebalance \
+             mid-run — every acknowledged write must survive, and every \
+             shard store must fsck clean at shutdown.")
+  in
   Cmd.v
     (Cmd.info "soak"
        ~doc:
@@ -620,9 +896,11 @@ let soak_cmd =
           traffic against a real primary process with followers, under \
           seed-replayable fault injection, crash/restart, compaction and \
           promotion chaos, with continuous invariant checking (fsck, \
-          application models, replication convergence)")
+          application models, replication convergence); --shards N soaks \
+          a sharded cluster instead")
     Term.(
-      const run $ profile_arg $ seconds_arg $ ops_arg $ seed_arg $ quiet_flag)
+      const run $ profile_arg $ seconds_arg $ ops_arg $ seed_arg $ quiet_flag
+      $ shards_arg)
 
 let () =
   let doc = "a tamper-evident, forkable key-value store (ForkBase)" in
@@ -634,5 +912,6 @@ let () =
             put_cmd; get_cmd; fork_cmd; branches_cmd; log_cmd; merge_cmd;
             keys_cmd; verify_cmd; fsck_cmd; lint_cmd; stats_cmd;
             checkpoint_cmd; gc_cmd; serve_cmd; follow_cmd;
-            replication_status_cmd; soak_cmd;
+            replication_status_cmd; soak_cmd; shard_cmd; dispatch_cmd;
+            cluster_status_cmd; cluster_add_cmd;
           ]))

@@ -5,3 +5,19 @@ let servlet_of_key ~servlets key =
   Fbchunk.Cid.low_bits (Fbchunk.Cid.of_raw digest) mod servlets
 
 let node_of_cid ~nodes cid = Fbchunk.Cid.low_bits cid mod nodes
+
+let movement ~from_n ~to_n keys =
+  match keys with
+  | [] -> 0.
+  | _ ->
+      let moved =
+        List.fold_left
+          (fun acc key ->
+            if
+              servlet_of_key ~servlets:from_n key
+              <> servlet_of_key ~servlets:to_n key
+            then acc + 1
+            else acc)
+          0 keys
+      in
+      float_of_int moved /. float_of_int (List.length keys)

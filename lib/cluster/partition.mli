@@ -7,4 +7,23 @@
     evenly even under severely skewed key popularity (Figure 15). *)
 
 val servlet_of_key : servlets:int -> string -> int
+(** Home servlet of a key: SHA-256 of the key bytes, low 32 bits,
+    mod [servlets].  STABILITY: this function is part of the cluster's
+    persistent contract — the shard rebalancer (lib/shard) computes which
+    keys move when the shard count changes from exactly this function,
+    and the golden-value tests in test_cluster pin its outputs.  Changing
+    it strands every key stored under the old routing. *)
+
 val node_of_cid : nodes:int -> Fbchunk.Cid.t -> int
+(** Chunk-storage node of a value chunk (the second layer): cid low bits
+    mod [nodes].  Same stability contract as {!servlet_of_key}. *)
+
+val movement : from_n:int -> to_n:int -> string list -> float
+(** Fraction of [keys] whose {!servlet_of_key} home differs between
+    [from_n] and [to_n] servlets — the rebalance cost of a resize.  For
+    mod-N routing growing n → n+1 this is ~n/(n+1) (keys stay only when
+    [hash mod lcm(n, n+1) < n], probability 1/(n+1)): at 4 → 5 shards
+    ~80% of keys move.  Documented and asserted (test_cluster) rather
+    than hidden; a consistent-hash ring would cut movement to 1/(n+1)
+    at the cost of per-node lookup tables — a deliberate future step
+    that must ship with a routing-epoch migration. *)

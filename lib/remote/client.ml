@@ -1,6 +1,7 @@
 type t = { fd : Unix.file_descr }
 
 exception Redirected of string * int
+exception Busy of string
 exception Unknown_host of string
 exception Disconnected
 exception Remote_failure of string
@@ -14,6 +15,7 @@ let () =
     | Protocol_error msg -> Some ("forkbase protocol error: " ^ msg)
     | Redirected (host, port) ->
         Some (Printf.sprintf "forkbase: redirected to primary %s:%d" host port)
+    | Busy reason -> Some ("forkbase: transient rejection, retry: " ^ reason)
     | _ -> None)
 
 let resolve host =
@@ -58,6 +60,7 @@ let call t req =
 let expect_ok name = function
   | Wire.Error msg -> raise (Remote_failure (name ^ ": " ^ msg))
   | Wire.Redirect { host; port } -> raise (Redirected (host, port))
+  | Wire.Retry { reason } -> raise (Busy reason)
   | resp -> resp
 
 let unexpected name = raise (Protocol_error (name ^ ": unexpected response"))
@@ -121,6 +124,33 @@ let fetch_chunks t cids =
   match expect_ok "fetch_chunks" (call t (Wire.Fetch_chunks { cids })) with
   | Wire.Chunks chunks -> chunks
   | _ -> unexpected "fetch_chunks"
+
+let get_map t =
+  match expect_ok "get_map" (call t Wire.Get_map) with
+  | Wire.Map_r m -> m
+  | _ -> unexpected "get_map"
+
+let set_map t map =
+  match expect_ok "set_map" (call t (Wire.Set_map { map })) with
+  | Wire.Ok_unit -> ()
+  | _ -> unexpected "set_map"
+
+let push_chunks t chunks =
+  match expect_ok "push_chunks" (call t (Wire.Push_chunks { chunks })) with
+  | Wire.Ok_unit -> ()
+  | _ -> unexpected "push_chunks"
+
+let restore_branch t ~key ~branch uid =
+  match
+    expect_ok "restore_branch" (call t (Wire.Restore_branch { key; branch; uid }))
+  with
+  | Wire.Ok_unit -> ()
+  | _ -> unexpected "restore_branch"
+
+let export_key t ~key =
+  match expect_ok "export_key" (call t (Wire.Export_key { key })) with
+  | Wire.Branches bs -> bs
+  | _ -> unexpected "export_key"
 
 let quit_server t =
   match call t Wire.Quit with

@@ -3,9 +3,15 @@
 type t
 
 exception Redirected of string * int
-(** Raised by the typed conveniences when a read-only follower answers a
-    write request with {!Wire.Redirect}: retry against the primary at
-    [(host, port)]. *)
+(** Raised by the typed conveniences on a {!Wire.Redirect} answer: a
+    read-only follower refusing a write (retry against the primary at
+    [(host, port)]), or a shard refusing a key it does not own (refresh
+    the partition map and retry against the key's home shard). *)
+
+exception Busy of string
+(** Raised by the typed conveniences on a {!Wire.Retry} answer: a
+    transient refusal (the key is fenced mid-rebalance, or the shard has
+    no installed map yet).  Back off and retry; nothing is wrong. *)
 
 exception Unknown_host of string
 (** [connect]'s host resolves to nothing (neither a dotted quad nor a
@@ -43,7 +49,9 @@ val call : t -> Wire.request -> Wire.response
     @raise Remote_failure on an [Error] response
     @raise Protocol_error on a mis-shaped response
     @raise Disconnected if the server closed the connection
-    @raise Redirected when a follower refuses a write *)
+    @raise Redirected when a follower refuses a write or a shard refuses
+           a key it does not own
+    @raise Busy on a transient [Retry] refusal *)
 
 val put :
   ?branch:string -> ?context:string -> t -> key:string -> Wire.value ->
@@ -74,5 +82,26 @@ val pull_journal : t -> from_seq:int -> int * string list
 val fetch_chunks : t -> Fbchunk.Cid.t list -> string list
 (** Replication backfill: the encoded chunks for the requested cids that
     the server holds (absent cids are silently omitted). *)
+
+val get_map : t -> Wire.shard_map
+(** The shard's installed partition map. *)
+
+val set_map : t -> Wire.shard_map -> unit
+(** Install a strictly newer partition map (rebalance driver only).
+    @raise Remote_failure when the map's version is not newer than the
+           installed one. *)
+
+val push_chunks : t -> string list -> unit
+(** Store encoded chunks on the shard (at most
+    {!Server.max_fetch_chunks} per call); idempotent under content
+    addressing. *)
+
+val restore_branch : t -> key:string -> branch:string -> Fbchunk.Cid.t -> unit
+(** Install a branch head whose closure was pushed first (the server
+    validates the head resolves before journaling it). *)
+
+val export_key : t -> key:string -> (string * Fbchunk.Cid.t) list
+(** Tagged branches of [key] regardless of shard ownership (rebalance
+    reads from the losing shard). *)
 
 val quit_server : t -> unit

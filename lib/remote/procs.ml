@@ -7,8 +7,7 @@ let listener ?(port = 0) () =
   let fd = Server.listen ~port () in
   (fd, Server.bound_port fd)
 
-let spawn ?port serve =
-  let listen_fd, bound = listener ?port () in
+let spawn_on (listen_fd, bound) serve =
   match Unix.fork () with
   | 0 ->
       let status =
@@ -23,6 +22,8 @@ let spawn ?port serve =
   | pid ->
       Unix.close listen_fd;
       { pid; port = bound; reaped = false }
+
+let spawn ?port serve = spawn_on (listener ?port ()) serve
 
 let do_wait t =
   if not t.reaped then begin

@@ -27,6 +27,12 @@ val spawn : ?port:int -> (Unix.file_descr -> unit) -> t
     returns (or 1 if it raises) without running the parent's [at_exit]
     handlers.  The parent's copy of the listening socket is closed. *)
 
+val spawn_on : Unix.file_descr * int -> (Unix.file_descr -> unit) -> t
+(** Like {!spawn} but over a listener the caller already bound with
+    {!listener} — the idiom for spawning a whole shard cluster, where
+    every port must be known (to build the partition map) before any
+    child forks. *)
+
 val kill : t -> unit
 (** SIGKILL the child and reap it; idempotent.  The crash half of the
     soak's kill/restart chaos events — pair it with a fresh {!spawn} at

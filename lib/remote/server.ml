@@ -67,7 +67,31 @@ let stats_of_db db =
     timeouts = 0;
     group_commits = 0;
     acks_released = 0;
+    shard_index = -1;
+    map_version = 0;
   }
+
+(* Sharded serving (lib/shard): the server owns the slice of the keyspace
+   that [route] maps to [self] under the installed partition map, redirects
+   everything else to its home shard, and fences keys that are mid-rebalance
+   ([pending] in the map) with Retry.  [route] is injected (rather than
+   calling Fbcluster.Partition directly) to keep fbremote free of a
+   dependency on fbcluster. *)
+type shard_role = {
+  mutable smap : Wire.shard_map;
+  mutable fenced : (string, unit) Hashtbl.t;
+  self : int;
+  route : servlets:int -> string -> int;
+  persist_map : Wire.shard_map -> unit;
+}
+
+let fence_table pending =
+  let t = Hashtbl.create 16 in
+  List.iter (fun k -> Hashtbl.replace t k ()) pending;
+  t
+
+let shard_role ~self ~route ~persist_map map =
+  { smap = map; fenced = fence_table map.Wire.pending; self; route; persist_map }
 
 (* Journal access for replication, provided when the db is backed by a
    journaled durable store (lib/persist; constructed by
@@ -87,25 +111,49 @@ let max_fetch_chunks = 512
    source (Pull_journal).  [redirect] puts the server in follower mode:
    write requests are answered with the primary's address instead of
    executing. *)
-let handle ?checkpoint ?journal ?redirect db (req : Wire.request) :
+let handle ?checkpoint ?journal ?redirect ?shard db (req : Wire.request) :
     Wire.response =
   let write k =
     match redirect with
     | Some (host, port) -> Wire.Redirect { host; port }
     | None -> k ()
   in
+  (* Ownership gate for key-addressed client requests on a shard.  Admin /
+     replication requests (Fetch_chunks, Push_chunks, Restore_branch,
+     Export_key, Pull_journal, map exchange) bypass it: the rebalance
+     driver must read from the losing shard and write to the gaining one
+     while neither "owns" the key for clients. *)
+  let owned key k =
+    match shard with
+    | None -> k ()
+    | Some r ->
+        let n = Array.length r.smap.Wire.shards in
+        if n = 0 then Wire.Retry { reason = "shard: no partition map installed" }
+        else
+          let owner = r.route ~servlets:n key in
+          if owner <> r.self then
+            let host, port = r.smap.Wire.shards.(owner) in
+            Wire.Redirect { host; port }
+          else if Hashtbl.mem r.fenced key then
+            Wire.Retry { reason = "shard: key is migrating" }
+          else k ()
+  in
   match req with
   | Wire.Put { key; branch; context; value } ->
+      owned key @@ fun () ->
       write @@ fun () ->
       Wire.Uid (Db.put ~branch ~context db ~key (of_wire_value db value))
   | Wire.Get { key; branch } ->
+      owned key @@ fun () ->
       of_db_result (fun v -> Wire.Value (to_wire_value v)) (Db.get ~branch db ~key)
   | Wire.Get_version { uid } ->
       of_db_result (fun v -> Wire.Value (to_wire_value v)) (Db.get_version db uid)
   | Wire.Fork { key; from_branch; new_branch } ->
+      owned key @@ fun () ->
       write @@ fun () ->
       of_db_result (fun () -> Wire.Ok_unit) (Db.fork db ~key ~from_branch ~new_branch)
   | Wire.Merge { key; target; ref_branch; resolver } -> (
+      owned key @@ fun () ->
       write @@ fun () ->
       match resolver_of_string resolver with
       | Error msg -> Wire.Error msg
@@ -114,19 +162,28 @@ let handle ?checkpoint ?journal ?redirect db (req : Wire.request) :
             (fun uid -> Wire.Uid uid)
             (Db.merge ~resolver db ~key ~target ~ref_:(`Branch ref_branch)))
   | Wire.Track { key; branch; lo; hi } ->
+      owned key @@ fun () ->
       of_db_result
         (fun history -> Wire.History (List.map (fun (d, uid, _) -> (d, uid)) history))
         (Db.track ~branch db ~key ~dist_range:(lo, hi))
   | Wire.List_keys -> Wire.Keys (Db.list_keys db)
-  | Wire.List_branches { key } -> Wire.Branches (Db.list_tagged_branches db ~key)
+  | Wire.List_branches { key } ->
+      owned key @@ fun () -> Wire.Branches (Db.list_tagged_branches db ~key)
   | Wire.Verify { uid } -> Wire.Bool (Db.verify_version db uid)
   | Wire.Stats ->
       let s = stats_of_db db in
-      Wire.Stats_r
-        (match journal with
+      let s =
+        match journal with
         | None -> s
         | Some j ->
-            { s with Wire.journal_seq = j.j_seq (); journal_bytes = j.j_bytes () })
+            { s with Wire.journal_seq = j.j_seq (); journal_bytes = j.j_bytes () }
+      in
+      Wire.Stats_r
+        (match shard with
+        | None -> s
+        | Some r ->
+            { s with Wire.shard_index = r.self;
+              map_version = r.smap.Wire.version })
   | Wire.Checkpoint -> (
       write @@ fun () ->
       match checkpoint with
@@ -156,6 +213,46 @@ let handle ?checkpoint ?journal ?redirect db (req : Wire.request) :
              (fun cid ->
                Option.map Fbchunk.Chunk.encode (store.Fbchunk.Chunk_store.get cid))
              cids)
+  | Wire.Get_map -> (
+      match shard with
+      | None -> Wire.Error "get_map: server is not a shard"
+      | Some r -> Wire.Map_r r.smap)
+  | Wire.Set_map { map } -> (
+      match shard with
+      | None -> Wire.Error "set_map: server is not a shard"
+      | Some r ->
+          if map.Wire.version <= r.smap.Wire.version then
+            Wire.Error
+              (Printf.sprintf "set_map: stale version %d (installed %d)"
+                 map.Wire.version r.smap.Wire.version)
+          else begin
+            r.smap <- map;
+            r.fenced <- fence_table map.Wire.pending;
+            r.persist_map map;
+            Wire.Ok_unit
+          end)
+  | Wire.Push_chunks { chunks } ->
+      write @@ fun () ->
+      if List.length chunks > max_fetch_chunks then
+        Wire.Error
+          (Printf.sprintf "push_chunks: at most %d chunks per request"
+             max_fetch_chunks)
+      else begin
+        let store = Db.store db in
+        match
+          List.iter
+            (fun enc ->
+              ignore (store.Fbchunk.Chunk_store.put (Fbchunk.Chunk.decode enc)))
+            chunks
+        with
+        | () -> Wire.Ok_unit
+        | exception Fbutil.Codec.Corrupt msg ->
+            Wire.Error ("push_chunks: " ^ msg)
+      end
+  | Wire.Restore_branch { key; branch; uid } ->
+      write @@ fun () ->
+      of_db_result (fun () -> Wire.Ok_unit) (Db.restore_branch db ~key ~branch uid)
+  | Wire.Export_key { key } -> Wire.Branches (Db.list_tagged_branches db ~key)
   | Wire.Quit -> Wire.Ok_unit
 
 (* --- the event loop --- *)
@@ -233,10 +330,12 @@ let drain c reason =
 (* Is this request a durable write whose acknowledgement group commit may
    hold back until the batched fsync? *)
 let durable_write = function
-  | Wire.Put _ | Wire.Fork _ | Wire.Merge _ -> true
+  | Wire.Put _ | Wire.Fork _ | Wire.Merge _
+  | Wire.Push_chunks _ | Wire.Restore_branch _ ->
+      true
   | _ -> false
 
-let serve ?checkpoint ?journal ?redirect ?group_commit ?tick
+let serve ?checkpoint ?journal ?redirect ?shard ?group_commit ?tick
     ?(tick_every = 0.05) ?(now = Clock.monotonic) ?(config = default_config)
     db listen_fd =
   Wire.ignore_sigpipe ();
@@ -365,7 +464,8 @@ let serve ?checkpoint ?journal ?redirect ?group_commit ?tick
                    in
                    ( held,
                      try
-                       with_counters (handle ?checkpoint ?journal ?redirect db req)
+                       with_counters
+                         (handle ?checkpoint ?journal ?redirect ?shard db req)
                      with e -> Wire.Error (Printexc.to_string e) )
              in
              park_or_respond c ~held response

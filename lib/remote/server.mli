@@ -69,14 +69,38 @@ type journal_hooks = {
     [Error]). *)
 
 val max_fetch_chunks : int
-(** Upper bound on cids per [Fetch_chunks] request (512); larger requests
-    are answered with an [Error] so a response cannot blow the frame
-    limit. *)
+(** Upper bound on cids per [Fetch_chunks] request — and on chunks per
+    [Push_chunks] request — (512); larger requests are answered with an
+    [Error] so a response cannot blow the frame limit. *)
+
+type shard_role
+(** Makes a server one shard of a partitioned cluster: key-addressed
+    client requests ([Put] / [Get] / [Fork] / [Merge] / [Track] /
+    [List_branches]) are gated on ownership under the installed
+    {!Wire.shard_map} — keys homed elsewhere answer [Redirect] to their
+    owner, keys fenced by a mid-rebalance map answer [Retry] — and the
+    map-exchange requests ([Get_map] / [Set_map]) are served.  Admin /
+    replication requests ([Fetch_chunks], [Push_chunks],
+    [Restore_branch], [Export_key], [Pull_journal]) bypass the gate so a
+    rebalance driver can move a key while no shard serves it. *)
+
+val shard_role :
+  self:int ->
+  route:(servlets:int -> string -> int) ->
+  persist_map:(Wire.shard_map -> unit) ->
+  Wire.shard_map ->
+  shard_role
+(** [self] is this server's index in the map's [shards] array; [route] is
+    the key-to-shard function (injected —
+    [Fbcluster.Partition.servlet_of_key] in production — so fbremote does
+    not depend on fbcluster); [persist_map] is called after every
+    successful [Set_map] install so the map survives a crash/restart. *)
 
 val serve :
   ?checkpoint:(unit -> int * int) ->
   ?journal:journal_hooks ->
   ?redirect:string * int ->
+  ?shard:shard_role ->
   ?group_commit:(unit -> unit) ->
   ?tick:(unit -> unit) ->
   ?tick_every:float ->
@@ -97,9 +121,13 @@ val serve :
     write requests ([Put] / [Fork] / [Merge] / [Checkpoint]) are answered
     with [Redirect] naming the primary instead of executing.
 
+    [shard] makes the server one shard of a partitioned cluster (see
+    {!shard_role}).
+
     [group_commit] enables group commit over a durable store opened with
     {!Fbpersist.Persist.set_deferred_sync}: responses to durable writes
-    ([Put] / [Fork] / [Merge]) are parked, and once per event-loop round
+    ([Put] / [Fork] / [Merge] / [Push_chunks] / [Restore_branch]) are
+    parked, and once per event-loop round
     the hook (typically [fun () -> Persist.sync p]) runs {e once} before
     the whole batch of acknowledgements is released — N concurrent
     writers share one fsync per round instead of paying one each, with
@@ -121,6 +149,7 @@ val handle :
   ?checkpoint:(unit -> int * int) ->
   ?journal:journal_hooks ->
   ?redirect:string * int ->
+  ?shard:shard_role ->
   Forkbase.Db.t ->
   Wire.request ->
   Wire.response

@@ -8,6 +8,12 @@ type value =
   | Map of (string * string) list
   | Set of string list
 
+type shard_map = {
+  version : int;
+  shards : (string * int) array;
+  pending : string list;
+}
+
 type request =
   | Put of { key : string; branch : string; context : string; value : value }
   | Get of { key : string; branch : string }
@@ -22,6 +28,11 @@ type request =
   | Checkpoint
   | Pull_journal of { from_seq : int }
   | Fetch_chunks of { cids : Cid.t list }
+  | Get_map
+  | Set_map of { map : shard_map }
+  | Push_chunks of { chunks : string list }
+  | Restore_branch of { key : string; branch : string; uid : Cid.t }
+  | Export_key of { key : string }
   | Quit
 
 type stats = {
@@ -46,6 +57,10 @@ type stats = {
   timeouts : int;
   group_commits : int;
   acks_released : int;
+  (* sharding; [shard_index] is [-1] and [map_version] is [0] when the
+     server is not part of a sharded cluster *)
+  shard_index : int;
+  map_version : int;
 }
 
 type response =
@@ -61,10 +76,42 @@ type response =
   | Journal_batch of { primary_seq : int; entries : string list }
   | Chunks of string list
   | Redirect of { host : string; port : int }
+  | Map_r of shard_map
+  | Retry of { reason : string }
   | Error of string
 
 let enc_cid buf cid = Codec.raw buf (Cid.to_raw cid)
 let dec_cid r = Cid.of_raw (Codec.read_raw r 32)
+
+let enc_shard_map buf m =
+  Codec.varint buf m.version;
+  Codec.list buf
+    (fun buf (host, port) ->
+      Codec.string buf host;
+      Codec.varint buf port)
+    (Array.to_list m.shards);
+  Codec.list buf Codec.string m.pending
+
+let dec_shard_map r =
+  let version = Codec.read_varint r in
+  let shards =
+    Codec.read_list r (fun r ->
+        let host = Codec.read_string r in
+        (host, Codec.read_varint r))
+  in
+  let pending = Codec.read_list r Codec.read_string in
+  { version; shards = Array.of_list shards; pending }
+
+let encode_shard_map m =
+  let buf = Buffer.create 64 in
+  enc_shard_map buf m;
+  Buffer.contents buf
+
+let decode_shard_map s =
+  let r = Codec.reader s in
+  let m = dec_shard_map r in
+  Codec.expect_end r;
+  m
 
 let enc_pair buf (k, v) =
   Codec.string buf k;
@@ -149,6 +196,21 @@ let encode_request req =
   | Fetch_chunks { cids } ->
       Buffer.add_char buf 'X';
       Codec.list buf enc_cid cids
+  | Get_map -> Buffer.add_char buf 'W'
+  | Set_map { map } ->
+      Buffer.add_char buf 'I';
+      enc_shard_map buf map
+  | Push_chunks { chunks } ->
+      Buffer.add_char buf 'U';
+      Codec.list buf Codec.string chunks
+  | Restore_branch { key; branch; uid } ->
+      Buffer.add_char buf 'R';
+      Codec.string buf key;
+      Codec.string buf branch;
+      enc_cid buf uid
+  | Export_key { key } ->
+      Buffer.add_char buf 'E';
+      Codec.string buf key
   | Quit -> Buffer.add_char buf 'Q');
   Buffer.contents buf
 
@@ -191,6 +253,14 @@ let decode_request s =
     | 'C' -> Checkpoint
     | 'J' -> Pull_journal { from_seq = Codec.read_varint r }
     | 'X' -> Fetch_chunks { cids = Codec.read_list r dec_cid }
+    | 'W' -> Get_map
+    | 'I' -> Set_map { map = dec_shard_map r }
+    | 'U' -> Push_chunks { chunks = Codec.read_list r Codec.read_string }
+    | 'R' ->
+        let key = Codec.read_string r in
+        let branch = Codec.read_string r in
+        Restore_branch { key; branch; uid = dec_cid r }
+    | 'E' -> Export_key { key = Codec.read_string r }
     | 'Q' -> Quit
     | c -> raise (Codec.Corrupt (Printf.sprintf "wire: bad request tag %C" c))
   in
@@ -233,7 +303,10 @@ let encode_response resp =
         [ s.chunks; s.bytes; s.puts; s.dedup_hits; s.gets; s.misses; s.keys;
           s.branches; s.journal_seq; s.journal_bytes; s.accepted; s.active;
           s.closed_ok; s.closed_err; s.frames_in; s.frames_out; s.timeouts;
-          s.group_commits; s.acks_released ]
+          s.group_commits; s.acks_released;
+          (* varints reject negatives, so the "not a shard" index -1
+             travels as 0 and real indices as index + 1 *)
+          s.shard_index + 1; s.map_version ]
   | Reclaimed { chunks; bytes } ->
       Buffer.add_char buf 'c';
       Codec.varint buf chunks;
@@ -249,6 +322,12 @@ let encode_response resp =
       Buffer.add_char buf 'd';
       Codec.string buf host;
       Codec.varint buf port
+  | Map_r m ->
+      Buffer.add_char buf 'm';
+      enc_shard_map buf m
+  | Retry { reason } ->
+      Buffer.add_char buf 'y';
+      Codec.string buf reason
   | Error msg ->
       Buffer.add_char buf 'x';
       Codec.string buf msg);
@@ -293,11 +372,13 @@ let decode_response s =
         let timeouts = Codec.read_varint r in
         let group_commits = Codec.read_varint r in
         let acks_released = Codec.read_varint r in
+        let shard_index = Codec.read_varint r - 1 in
+        let map_version = Codec.read_varint r in
         Stats_r
           { chunks; bytes; puts; dedup_hits; gets; misses; keys; branches;
             journal_seq; journal_bytes; accepted; active; closed_ok;
             closed_err; frames_in; frames_out; timeouts; group_commits;
-            acks_released }
+            acks_released; shard_index; map_version }
     | 'c' ->
         let chunks = Codec.read_varint r in
         Reclaimed { chunks; bytes = Codec.read_varint r }
@@ -308,6 +389,8 @@ let decode_response s =
     | 'd' ->
         let host = Codec.read_string r in
         Redirect { host; port = Codec.read_varint r }
+    | 'm' -> Map_r (dec_shard_map r)
+    | 'y' -> Retry { reason = Codec.read_string r }
     | 'x' -> Error (Codec.read_string r)
     | c -> raise (Codec.Corrupt (Printf.sprintf "wire: bad response tag %C" c))
   in

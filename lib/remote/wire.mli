@@ -15,6 +15,24 @@ type value =
   | Map of (string * string) list
   | Set of string list
 
+type shard_map = {
+  version : int;
+      (** monotonically increasing; every map install carries a strictly
+          larger version than the one it replaces, so a client comparing
+          versions always knows which map is fresher *)
+  shards : (string * int) array;
+      (** [(host, port)] of each shard, indexed by shard number; a key's
+          home shard is [Fbcluster.Partition.servlet_of_key
+          ~servlets:(Array.length shards) key] *)
+  pending : string list;
+      (** keys currently migrating during a rebalance: every shard fences
+          them (answers [Retry]) until a follow-up map with an empty
+          [pending] lifts the fence.  Empty outside rebalances. *)
+}
+(** The cluster partition map, a first-class versioned artifact: shards
+    gossip it via [Get_map]/[Set_map], carry its version in {!stats}, and
+    clients detect staleness when a routed request answers [Redirect]. *)
+
 type request =
   | Put of { key : string; branch : string; context : string; value : value }
   | Get of { key : string; branch : string }
@@ -35,6 +53,21 @@ type request =
   | Fetch_chunks of { cids : Fbchunk.Cid.t list }
       (** replication backfill: the serialized chunks for [cids] that the
           server holds; answered with [Chunks] *)
+  | Get_map  (** the shard's current partition map; answered with [Map_r] *)
+  | Set_map of { map : shard_map }
+      (** install a strictly newer partition map on a shard (rebalance
+          driver only); stale versions answer [Error] *)
+  | Push_chunks of { chunks : string list }
+      (** rebalance/scatter: store these {!Fbchunk.Chunk.encode}d chunks
+          (at most {!Server.max_fetch_chunks} per request); content
+          addressing makes this idempotent *)
+  | Restore_branch of { key : string; branch : string; uid : Fbchunk.Cid.t }
+      (** install a branch head whose object closure was pushed first
+          (rebalance/scatter); validated + journaled via
+          [Db.restore_branch] *)
+  | Export_key of { key : string }
+      (** tagged branches of [key] regardless of ownership (rebalance
+          reads from the losing shard); answered with [Branches] *)
   | Quit  (** shut the server down (tests and orderly teardown) *)
 
 type stats = {
@@ -66,6 +99,13 @@ type stats = {
       (** write acknowledgements released by group commits; divided by
           [group_commits] this is the amortization factor (acks per
           fsync) *)
+  shard_index : int;
+      (** this server's index in the partition map; [-1] when the server
+          is not part of a sharded cluster *)
+  map_version : int;
+      (** version of the shard's installed partition map; [0] when not a
+          shard.  A dispatcher comparing this across shards can spot a
+          half-installed map. *)
 }
 (** Chunk-store / db counters plus the serving-side connection counters.
     The connection counters are all zero when the stats describe an
@@ -93,14 +133,28 @@ type response =
           (the puller re-pulls — the chunks may have been compacted away
           along with the journal positions that referenced them). *)
   | Redirect of { host : string; port : int }
-      (** typed write rejection from a read-only follower: retry the
-          request against the primary at [host:port] *)
+      (** typed rejection, two senders: a read-only follower redirecting a
+          write to its primary, or a shard redirecting a key it does not
+          own to the key's home shard — the latter doubles as the client's
+          stale-map signal (refresh the map, retry) *)
+  | Map_r of shard_map  (** answer to [Get_map] *)
+  | Retry of { reason : string }
+      (** transient rejection: the key is fenced mid-rebalance (or the
+          shard has no installed map yet).  The client backs off, refreshes
+          its map, and retries; unlike [Error] nothing is wrong. *)
   | Error of string
 
 val encode_request : request -> string
 val decode_request : string -> request
 val encode_response : response -> string
 val decode_response : string -> response
+
+val encode_shard_map : shard_map -> string
+(** Standalone codec for {!shard_map}, shared by the wire messages above
+    and the shard's on-disk map file (see [Fbshard.Shard_map]). *)
+
+val decode_shard_map : string -> shard_map
+(** @raise Fbutil.Codec.Corrupt on malformed input. *)
 
 (** {1 Framing} *)
 

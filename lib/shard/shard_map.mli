@@ -1,0 +1,59 @@
+(** The cluster partition map as a first-class artifact: routing helpers
+    over {!Fbremote.Wire.shard_map} plus the per-shard on-disk copy that
+    lets a killed shard restart with the map it last installed.
+
+    Routing is mod-N over cryptographic hashes
+    ({!Fbcluster.Partition.servlet_of_key} for keys,
+    {!Fbcluster.Partition.node_of_cid} for value chunks), so growing the
+    cluster from [n] to [n+1] shards moves roughly [n/(n+1)] of the keys
+    (see the movement-bound test in test_cluster) — acceptable at this
+    scale and measured, not assumed; a consistent-hash ring would cut it
+    to [1/(n+1)] without changing anything in this interface. *)
+
+type t = Fbremote.Wire.shard_map = {
+  version : int;
+  shards : (string * int) array;
+  pending : string list;
+}
+
+exception Bad_map of string
+
+val create : version:int -> (string * int) list -> t
+(** A map with no pending keys. @raise Bad_map on a negative version. *)
+
+val n : t -> int
+(** Number of shards. *)
+
+val owner : t -> string -> int
+(** Home shard of a key ({!Fbcluster.Partition.servlet_of_key}).
+    @raise Bad_map on an empty map. *)
+
+val chunk_owner : t -> Fbchunk.Cid.t -> int
+(** Home shard of a value chunk in the two-layer split
+    ({!Fbcluster.Partition.node_of_cid}).
+    @raise Bad_map on an empty map. *)
+
+val addr : t -> int -> string * int
+(** [(host, port)] of shard [i]. @raise Bad_map when out of range. *)
+
+val parse_addr : string -> string * int
+(** Parse ["HOST:PORT"]. @raise Bad_map on malformed input. *)
+
+val parse_addrs : string -> (string * int) list
+(** Parse ["HOST:PORT,HOST:PORT,..."] (the CLI's [--map] syntax).
+    @raise Bad_map on malformed input. *)
+
+val addr_to_string : string * int -> string
+
+val to_string : t -> string
+(** Human-readable one-liner for status output. *)
+
+val file_name : string
+(** ["shard.map"], the per-shard on-disk copy inside the store dir. *)
+
+val save : dir:string -> t -> unit
+(** Atomically (tmp + rename) write the map into [dir]. *)
+
+val load : dir:string -> t option
+(** The map last saved into [dir], if any.
+    @raise Bad_map if the file exists but does not decode. *)

@@ -579,3 +579,236 @@ let run cfg =
   in
   failed := false;
   result
+
+(* ------------------------------------------------------------------ *)
+(* sharded soak: the same discipline over a real N-shard topology *)
+
+module Shard = Fbshard.Shard
+module Shard_map = Fbshard.Shard_map
+module Dispatch = Fbshard.Dispatch
+module Wire = Fbremote.Wire
+
+(* The sharded run is its own small harness rather than a mode of [run]:
+   the three applications and the chaos schedule above are bound to a
+   single primary + followers topology, while a sharded cluster's
+   invariants are different — ownership routing, map versioning,
+   rebalance fences.  What carries over unchanged is the discipline:
+   seeded determinism, an oracle of acknowledged writes, continuous
+   inline checks, heads-equal convergence at every quiesce, and
+   fsck-clean stores at shutdown. *)
+
+let sharded_fail cfg ~shards ~op ~fired ~scratch ~what ~detail =
+  raise
+    (Soak_failed
+       {
+         f_seed = cfg.seed;
+         f_at_op = op;
+         f_what = what;
+         f_detail = detail;
+         f_schedule =
+           [
+             "shard-kill @ total_ops/3 (SIGKILL one shard, respawn on its port)";
+             "shard-add @ 2*total_ops/3 (live fence/copy/lift rebalance)";
+           ];
+         f_fired = List.rev fired;
+         f_scratch = scratch;
+         f_replay =
+           Printf.sprintf
+             "forkbase soak --profile short --shards %d --ops %d --seed 0x%Lx"
+             shards cfg.total_ops cfg.seed;
+       })
+
+let run_sharded ~shards cfg =
+  if shards < 2 then invalid_arg "Soak.run_sharded: need at least 2 shards";
+  if cfg.total_ops < 10 then invalid_arg "Soak.run_sharded: need >= 10 ops";
+  let scratch = fresh_scratch cfg in
+  let dirs =
+    List.init shards (fun i ->
+        Filename.concat scratch (Printf.sprintf "shard-%d" i))
+  in
+  let procs, map = Shard.spawn_cluster ~dirs () in
+  let procs = ref procs in
+  let d = Dispatch.of_map map in
+  let rng = Splitmix.create cfg.seed in
+  let zipf = Workload.Zipf.create ~n:cfg.kv_keys ~theta:cfg.theta in
+  (* the oracle: last acknowledged value per key; an acknowledged write
+     that later reads differently is a lost write *)
+  let acked : (string, string) Hashtbl.t = Hashtbl.create 256 in
+  let op = ref 0 in
+  let fired = ref [] in
+  let inline_checks = ref 0 in
+  let full_verifies = ref 0 in
+  let convergence_checks = ref 0 in
+  let stores_fscked = ref 0 in
+  let puts = ref 0 and gets = ref 0 and branch_ops = ref 0 in
+  let all_dirs = ref dirs in
+  let extra_procs = ref [] in
+  let fail ~what ~detail =
+    sharded_fail cfg ~shards ~op:!op ~fired:!fired ~scratch ~what ~detail
+  in
+  let key_of i = Printf.sprintf "kv-%d" i in
+  let check_key key =
+    match Hashtbl.find_opt acked key with
+    | None -> ()
+    | Some expect -> (
+        incr inline_checks;
+        match Dispatch.get d ~key with
+        | Wire.Str got when got = expect -> ()
+        | Wire.Str got ->
+            fail ~what:"acknowledged write lost"
+              ~detail:
+                [
+                  Printf.sprintf "%s: expected %S got %S" key expect got;
+                ]
+        | _ -> fail ~what:"value shape changed" ~detail:[ key ]
+        | exception e ->
+            fail
+              ~what:("read failed: " ^ Printexc.to_string e)
+              ~detail:[ key ])
+  in
+  (* every oracle entry must read back — the sharded quiesce check:
+     whatever shard a key lives on after kills and rebalances, its head
+     equals the last acknowledged write *)
+  let verify_all reason =
+    incr full_verifies;
+    cfg.log (Printf.sprintf "op %d: verify (%s)" !op reason);
+    Hashtbl.iter (fun key _ -> check_key key) acked;
+    incr convergence_checks
+  in
+  let kill_restart_one () =
+    match !procs with
+    | victim :: rest ->
+        let port = Procs.port victim in
+        Procs.kill victim;
+        fired := Printf.sprintf "op %d: shard-kill (port %d)" !op port :: !fired;
+        cfg.log (Printf.sprintf "op %d: SIGKILL shard on port %d" !op port);
+        (match !all_dirs with
+        | dir :: _ ->
+            let revived =
+              Shard.spawn ~port ~dir ~self:0 ~map:(Dispatch.map d) ()
+            in
+            procs := revived :: rest
+        | [] -> ())
+    | [] -> ()
+  in
+  let add_one_shard () =
+    let self = Shard_map.n (Dispatch.map d) in
+    let dir = Filename.concat scratch (Printf.sprintf "shard-%d" self) in
+    let p = Shard.spawn ~dir ~self ~map:(Dispatch.map d) () in
+    extra_procs := p :: !extra_procs;
+    all_dirs := !all_dirs @ [ dir ];
+    let moved = Dispatch.add_shard d ~host:"127.0.0.1" ~port:(Procs.port p) in
+    fired :=
+      Printf.sprintf "op %d: shard-add (%d keys moved)" !op moved :: !fired;
+    cfg.log (Printf.sprintf "op %d: added shard %d, %d keys moved" !op self moved)
+  in
+  let kill_at = cfg.total_ops / 3 in
+  let add_at = 2 * cfg.total_ops / 3 in
+  let timed_out = ref false in
+  let started =
+    match cfg.deadline with None -> 0. | Some _ -> Unix.gettimeofday ()
+  in
+  let over_deadline () =
+    match cfg.deadline with
+    | None -> false
+    | Some s -> Unix.gettimeofday () -. started > s
+  in
+  let failed = ref true in
+  let cleanup () =
+    List.iter Procs.kill !procs;
+    List.iter Procs.kill !extra_procs;
+    (try Dispatch.close d with _ -> () (* lint: allow no-swallow *));
+    if (not !failed) && not cfg.keep_scratch then rm_rf scratch
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let result =
+    try
+      let continue_ = ref true in
+      while !continue_ && !op < cfg.total_ops do
+        incr op;
+        if !op = kill_at then kill_restart_one ();
+        if !op = add_at then add_one_shard ();
+        let i = Workload.Zipf.sample zipf rng in
+        let key = key_of i in
+        let roll = Splitmix.int rng 10 in
+        if roll < 6 then begin
+          incr puts;
+          let value =
+            Printf.sprintf "op%d:%s" !op (Splitmix.alphanum rng cfg.value_bytes)
+          in
+          let (_ : Fbchunk.Cid.t) = Dispatch.put d ~key (Wire.Str value) in
+          Hashtbl.replace acked key value
+        end
+        else if roll < 9 then begin
+          incr gets;
+          check_key key
+        end
+        else begin
+          (* exercise the versioned ops across the wire: fork a branch,
+             write it, merge it back — the merged value becomes the
+             acknowledged head *)
+          incr branch_ops;
+          match Hashtbl.find_opt acked key with
+          | None -> ()
+          | Some _ ->
+              let b = Printf.sprintf "soak-%d" !op in
+              Dispatch.fork d ~key ~from_branch:"master" ~new_branch:b;
+              let value =
+                Printf.sprintf "op%d:%s" !op
+                  (Splitmix.alphanum rng cfg.value_bytes)
+              in
+              let (_ : Fbchunk.Cid.t) =
+                Dispatch.put d ~branch:b ~key (Wire.Str value)
+              in
+              let (_ : Fbchunk.Cid.t) =
+                Dispatch.merge d ~key ~target:"master" ~ref_branch:b
+              in
+              Hashtbl.replace acked key value
+        end;
+        if !op mod cfg.verify_every = 0 then verify_all "periodic";
+        if !op land 63 = 0 && over_deadline () then begin
+          timed_out := true;
+          continue_ := false
+        end
+      done;
+      verify_all "final";
+      (* graceful shutdown, then fsck every shard store *)
+      Dispatch.quit_all d;
+      List.iter Procs.reap !procs;
+      List.iter Procs.reap !extra_procs;
+      List.iter
+        (fun dir ->
+          incr stores_fscked;
+          let report = Fsck.check_dir dir in
+          if not (Fsck.ok report) then
+            fail
+              ~what:(dir ^ " not fsck-clean after shutdown")
+              ~detail:
+                (List.map Fsck.violation_to_string report.Fsck.violations))
+        !all_dirs;
+      {
+        ops_done = !op;
+        events_fired =
+          [
+            ("shard-kill", if !op >= kill_at then 1 else 0);
+            ("shard-add", if !op >= add_at then 1 else 0);
+          ];
+        inline_checks = !inline_checks;
+        full_verifies = !full_verifies;
+        stores_fscked = !stores_fscked;
+        convergence_checks = !convergence_checks;
+        model_checks = 0;
+        faults_injected = 0;
+        ops_by_app =
+          [ ("put", !puts); ("get", !gets); ("branch", !branch_ops) ];
+        timed_out = !timed_out;
+      }
+    with
+    | Soak_failed _ as e -> raise e
+    | e ->
+        fail
+          ~what:("unexpected exception: " ^ Printexc.to_string e)
+          ~detail:(String.split_on_char '\n' (Printexc.get_backtrace ()))
+  in
+  failed := false;
+  result

@@ -101,3 +101,18 @@ val failure_report : failure -> string
 
 val run : config -> outcome
 (** Run the soak.  @raise Soak_failed on any invariant violation. *)
+
+val run_sharded : shards:int -> config -> outcome
+(** The sharded variant (`forkbase soak --shards N`): a seeded mixed
+    workload (puts, inline-checked reads, fork/edit/merge cycles)
+    driven through a {!Fbshard.Dispatch} dispatcher over [shards] real
+    shard processes, with two scheduled chaos events — one shard
+    SIGKILLed and respawned on its port at [total_ops/3], one live
+    fence/copy/lift rebalance ({!Fbshard.Dispatch.add_shard}) at
+    [2*total_ops/3] while writes continue.  The oracle of acknowledged
+    writes is checked inline, at every [verify_every] quiesce, and
+    finally after shutdown every shard store must fsck clean — zero
+    lost acknowledged writes across kills and rebalances, or
+    {!Soak_failed} with the replaying command.  Reuses [config]'s seed /
+    op budget / keyspace / cadence fields; followers and chaos_events
+    are ignored. *)

@@ -23,6 +23,77 @@ let test_partition_deterministic () =
     (P.servlet_of_key ~servlets:8 "some-key")
     (P.servlet_of_key ~servlets:8 "some-key")
 
+(* Golden values: servlet_of_key / node_of_cid are part of the cluster's
+   persistent contract (the shard rebalancer derives key movement from
+   them, and stored data is homed by them).  These literals were computed
+   once and must never drift — a change here is a routing epoch change
+   and strands every sharded store. *)
+let test_partition_pinned_keys () =
+  List.iter
+    (fun (key, at4, at16) ->
+      Alcotest.(check int)
+        (Printf.sprintf "servlet_of_key ~servlets:4 %S" key)
+        at4
+        (P.servlet_of_key ~servlets:4 key);
+      Alcotest.(check int)
+        (Printf.sprintf "servlet_of_key ~servlets:16 %S" key)
+        at16
+        (P.servlet_of_key ~servlets:16 key))
+    [
+      ("master", 1, 9);
+      ("key-0", 0, 4);
+      ("key-1", 0, 4);
+      ("wiki/Main_Page", 3, 3);
+      ("accounts/alice", 3, 11);
+      ("ledger", 3, 7);
+      ("", 1, 5);
+      ("k", 2, 10);
+      ("the-quick-brown-fox", 2, 14);
+    ]
+
+let test_partition_pinned_cids () =
+  List.iter
+    (fun (payload, low, at4, at16) ->
+      let cid = Fbchunk.Cid.digest payload in
+      Alcotest.(check int)
+        (Printf.sprintf "low_bits (digest %S)" payload)
+        low
+        (Fbchunk.Cid.low_bits cid);
+      Alcotest.(check int)
+        (Printf.sprintf "node_of_cid ~nodes:4 (digest %S)" payload)
+        at4
+        (P.node_of_cid ~nodes:4 cid);
+      Alcotest.(check int)
+        (Printf.sprintf "node_of_cid ~nodes:16 (digest %S)" payload)
+        at16
+        (P.node_of_cid ~nodes:16 cid))
+    [
+      ("a", 2951628987, 3, 11);
+      ("b", 3583770781, 1, 13);
+      ("chunk-payload", 2907537523, 3, 3);
+    ]
+
+(* The measured rebalance-movement bound for mod-N routing: growing
+   n -> n+1 moves ~n/(n+1) of the keys (a key stays only when
+   hash mod lcm(n, n+1) < n, probability 1/(n+1)).  At 4 -> 5 that is
+   80%; assert the measurement brackets the theory so the cost of a
+   resize stays documented, not assumed. *)
+let test_partition_movement_bound () =
+  let keys = List.init 20_000 (Printf.sprintf "key-%d") in
+  let m45 = P.movement ~from_n:4 ~to_n:5 keys in
+  Alcotest.(check bool)
+    (Printf.sprintf "4->5 movement %.4f within [0.75, 0.85]" m45)
+    true
+    (m45 >= 0.75 && m45 <= 0.85);
+  let m48 = P.movement ~from_n:4 ~to_n:4 keys in
+  Alcotest.(check (float 0.0)) "same size moves nothing" 0.0 m48;
+  (* 2 -> 3: theory says 2/3 *)
+  let m23 = P.movement ~from_n:2 ~to_n:3 keys in
+  Alcotest.(check bool)
+    (Printf.sprintf "2->3 movement %.4f within [0.61, 0.72]" m23)
+    true
+    (m23 >= 0.61 && m23 <= 0.72)
+
 let run_skewed_workload cluster =
   let rng = Fbutil.Splitmix.create 21L in
   let zipf = Workload.Zipf.create ~n:64 ~theta:0.9 in
@@ -134,6 +205,12 @@ let () =
         [
           Alcotest.test_case "balance" `Quick test_partition_balance;
           Alcotest.test_case "deterministic" `Quick test_partition_deterministic;
+          Alcotest.test_case "pinned key routing" `Quick
+            test_partition_pinned_keys;
+          Alcotest.test_case "pinned cid routing" `Quick
+            test_partition_pinned_cids;
+          Alcotest.test_case "movement bound" `Quick
+            test_partition_movement_bound;
         ] );
       ( "storage",
         [

@@ -23,6 +23,13 @@ let gen_value =
 
 let gen_cid = QCheck.Gen.map (fun s -> Cid.digest s) QCheck.Gen.string
 
+let gen_shard_map =
+  QCheck.Gen.(
+    map
+      (fun (version, shards, pending) ->
+        { Wire.version; shards = Array.of_list shards; pending })
+      (triple small_nat (small_list (pair string small_nat)) (small_list string)))
+
 let gen_request =
   QCheck.Gen.(
     oneof
@@ -49,6 +56,13 @@ let gen_request =
         return Wire.Checkpoint;
         map (fun from_seq -> Wire.Pull_journal { from_seq }) small_nat;
         map (fun cids -> Wire.Fetch_chunks { cids }) (small_list gen_cid);
+        return Wire.Get_map;
+        map (fun map -> Wire.Set_map { map }) gen_shard_map;
+        map (fun chunks -> Wire.Push_chunks { chunks }) (small_list string);
+        map
+          (fun ((key, branch), uid) -> Wire.Restore_branch { key; branch; uid })
+          (pair (pair string string) gen_cid);
+        map (fun key -> Wire.Export_key { key }) string;
         return Wire.Quit;
       ])
 
@@ -59,14 +73,16 @@ let gen_stats =
         | [ chunks; bytes; puts; dedup_hits; gets; misses; keys; branches;
             journal_seq; journal_bytes;
             accepted; active; closed_ok; closed_err; frames_in; frames_out;
-            timeouts; group_commits; acks_released ] ->
+            timeouts; group_commits; acks_released; shard_index; map_version ] ->
             Wire.Stats_r
               { chunks; bytes; puts; dedup_hits; gets; misses; keys; branches;
                 journal_seq; journal_bytes;
                 accepted; active; closed_ok; closed_err; frames_in; frames_out;
-                timeouts; group_commits; acks_released }
+                timeouts; group_commits; acks_released;
+                (* -1 = "not a shard" is a legal wire value *)
+                shard_index = shard_index - 1; map_version }
         | _ -> assert false)
-      (list_repeat 19 small_nat))
+      (list_repeat 21 small_nat))
 
 let gen_response =
   QCheck.Gen.(
@@ -88,6 +104,8 @@ let gen_response =
         map (fun cs -> Wire.Chunks cs) (small_list string);
         map (fun (host, port) -> Wire.Redirect { host; port })
           (pair string small_nat);
+        map (fun m -> Wire.Map_r m) gen_shard_map;
+        map (fun reason -> Wire.Retry { reason }) string;
         map (fun m -> Wire.Error m) string;
       ])
 

@@ -144,6 +144,24 @@ let test_short_profile_full () =
     Alcotest.(check bool) "store faults actually fired" true
       (o.Soak.faults_injected > 0)
 
+(* --- the sharded profile: kills + live rebalance, zero lost acks --- *)
+
+let test_sharded_profile () =
+  let cfg = Soak.short_config ~seed:0x54A2DL ~ops:150 () in
+  let o = Soak.run_sharded ~shards:2 cfg in
+  Alcotest.(check int) "ran the requested ops" 150 o.Soak.ops_done;
+  List.iter
+    (fun kind ->
+      let n = Option.value ~default:0 (List.assoc_opt kind o.Soak.events_fired) in
+      Alcotest.(check int)
+        (Printf.sprintf "chaos event %S fired" kind)
+        1 n)
+    [ "shard-kill"; "shard-add" ];
+  Alcotest.(check bool) "inline checks ran" true (o.Soak.inline_checks > 0);
+  Alcotest.(check bool) "quiesce verifies ran" true (o.Soak.full_verifies >= 2);
+  (* 2 seeded shards + 1 added live, all fsck'd after shutdown *)
+  Alcotest.(check int) "every shard store fsck'd" 3 o.Soak.stores_fscked
+
 (* --- a real invariant violation must produce a replayable report --- *)
 
 let test_sabotage_fails_with_report () =
@@ -196,5 +214,7 @@ let () =
             `Quick test_short_profile_full;
           Alcotest.test_case "sabotage fails with a replayable report" `Quick
             test_sabotage_fails_with_report;
+          Alcotest.test_case "sharded: kills + rebalance, zero lost acks"
+            `Quick test_sharded_profile;
         ] );
     ]
