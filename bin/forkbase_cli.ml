@@ -476,8 +476,12 @@ let replication_status_cmd =
     Term.(const run $ of_opt_arg $ port_arg)
 
 let lint_cmd =
-  let run baseline_path write_baseline paths =
-    let paths = match paths with [] -> [ "lib"; "bin" ] | ps -> ps in
+  let run baseline_path write_baseline json paths =
+    let paths =
+      match paths with
+      | [] -> [ "lib"; "bin"; "test/test_remote.ml" ]
+      | ps -> ps
+    in
     if write_baseline then begin
       let findings = Fblint.Lint.collect paths in
       Out_channel.with_open_bin baseline_path (fun oc ->
@@ -487,14 +491,23 @@ let lint_cmd =
     end
     else begin
       let baseline = Fblint.Baseline.load baseline_path in
-      match Fblint.Lint.run ~baseline paths with
-      | [] -> print_endline "lint: clean"
-      | findings ->
-          List.iter
-            (fun f -> print_endline (Fblint.Finding.to_string f))
-            findings;
-          Printf.eprintf "lint: %d new finding(s)\n" (List.length findings);
-          exit 1
+      let { Fblint.Lint.fresh; tolerated } =
+        Fblint.Lint.run_report ~baseline paths
+      in
+      let status = Fblint.Report.status ~tolerated fresh in
+      if json then print_string (Fblint.Report.to_json ~tolerated fresh)
+      else begin
+        (match status with
+        | Fblint.Report.Clean -> print_endline "lint: clean"
+        | Fblint.Report.Baseline_tolerated ->
+            Printf.printf "lint: clean (%d baseline-tolerated)\n" tolerated
+        | Fblint.Report.New_findings ->
+            List.iter
+              (fun f -> print_endline (Fblint.Finding.to_string f))
+              fresh;
+            Printf.eprintf "lint: %d new finding(s)\n" (List.length fresh))
+      end;
+      match Fblint.Report.exit_code status with 0 -> () | code -> exit code
     end
   in
   let baseline_arg =
@@ -512,6 +525,14 @@ let lint_cmd =
           ~doc:"Regenerate $(b,--baseline) from the current findings \
                 instead of failing on them.")
   in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the findings as a JSON document (rule/file/line/message \
+                per finding plus an overall status) instead of the \
+                line-oriented report.")
+  in
   let paths_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"PATHS")
   in
@@ -520,9 +541,12 @@ let lint_cmd =
        ~doc:
          "static analysis of the repository's own OCaml sources: cid \
           discipline, EINTR-safe syscalls, no partial functions, typed \
-          errors, no swallowed exceptions, dune hygiene (default paths: \
-          lib bin; exits 1 on any finding not covered by the baseline)")
-    Term.(const run $ baseline_arg $ write_flag $ paths_arg)
+          errors, no swallowed exceptions, dune hygiene, plus the \
+          call-graph analyses (event-loop blocking, wire-protocol \
+          exhaustiveness, fd discipline) (default paths: lib bin \
+          test/test_remote.ml; exits 0 when clean, 2 when findings were \
+          all baseline-tolerated, 1 on new findings)")
+    Term.(const run $ baseline_arg $ write_flag $ json_flag $ paths_arg)
 
 (* --- sharded serving: shard processes, dispatcher client, rebalance --- *)
 

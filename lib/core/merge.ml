@@ -89,11 +89,12 @@ let merge_maps store cfg ~resolver ~base ~left ~right =
     | Some v -> updates := (key, v) :: !updates
     | None -> removals := key :: !removals
   in
-  let handle key cl cr =
-    match (cl, cr) with
-    | Some c, None | None, Some c -> apply key c
-    | Some cl, Some cr when change_equal cl cr -> apply key cl
-    | Some cl, Some cr -> (
+  (* [handle] takes the left change as definite, so the both-sides-absent
+     case is unrepresentable (it used to be an [assert false]). *)
+  let handle key cl = function
+    | None -> apply key cl
+    | Some cr when change_equal cl cr -> apply key cl
+    | Some cr -> (
         let conflict =
           {
             location = key;
@@ -105,12 +106,9 @@ let merge_maps store cfg ~resolver ~base ~left ~right =
         match resolve resolver conflict with
         | Some v -> updates := (key, v) :: !updates
         | None -> conflicts := conflict :: !conflicts)
-    | None, None -> assert false
   in
-  SMap.iter (fun k cl -> handle k (Some cl) (SMap.find_opt k dr)) dl;
-  SMap.iter
-    (fun k cr -> if not (SMap.mem k dl) then handle k None (Some cr))
-    dr;
+  SMap.iter (fun k cl -> handle k cl (SMap.find_opt k dr)) dl;
+  SMap.iter (fun k cr -> if not (SMap.mem k dl) then apply k cr) dr;
   if !conflicts <> [] then Conflicts (List.rev !conflicts)
   else begin
     let merged = Fmap.set_many base !updates in

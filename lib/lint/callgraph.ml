@@ -1,0 +1,282 @@
+(* A call graph over the repo's compilation units, built from parsetrees
+   alone (no typechecker).  Each unit contributes its top-level value
+   definitions (including those in nested modules) as nodes; every
+   identifier a definition's body mentions is a call site.  Resolution is
+   name-based and deliberately conservative:
+
+   - an unqualified name resolves to this unit's own top-level definition
+     of that name when one exists (local definitions shadow opens), and
+     otherwise to [M.name] for every [open M] in the unit — so with
+     [open Unix] a bare [select] is visible to a rule banning
+     [Unix.select];
+   - [module W = Wire] aliases are expanded before lookup;
+   - a qualified [Lib.Module.name] also tries its suffixes, so the
+     library-wrapped [Fbremote.Wire.foo] meets the unit [wire.ml];
+   - functor applications ([F(X).g]) and anything else that cannot be
+     named statically resolve to nothing: reachability never follows
+     them.  The same goes for calls through function parameters and
+     record fields of closures (the chunk-store pattern).  Analyses on
+     top of this graph therefore under-approximate reachability — they
+     may miss a path, never invent one — except that the per-expression
+     syntactic rules independently catch banned heads wherever they
+     appear.
+
+   Reachability is a worklist BFS with a visited set, so mutually
+   recursive definitions (cycles) terminate and report each offending
+   site once. *)
+
+type unit_ = {
+  u_file : string;
+  u_scope : string;
+  u_module : string;  (* "Server" for any .../server.ml *)
+  mutable u_opens : string list;  (* heads of [open M] / [let open M in] *)
+  mutable u_aliases : (string * string list) list;  (* module W = Wire *)
+}
+
+type site = { s_parts : string list; s_line : int }
+
+type def = {
+  d_unit : unit_;
+  d_path : string;  (* "serve", or "Sub.helper" inside module Sub *)
+  d_line : int;
+  d_functor : bool;  (* defined inside a functor body *)
+  d_sites : site list;
+}
+
+type t = {
+  all_defs : def list;
+  (* (unit module name, def path) -> defs; collisions across same-named
+     files are unioned, which only ever adds edges *)
+  index : (string * string, def list) Hashtbl.t;
+}
+
+let def_name d = d.d_unit.u_module ^ "." ^ d.d_path
+let def_path d = d.d_path
+let def_line d = d.d_line
+let def_file d = d.d_unit.u_file
+let def_scope d = d.d_unit.u_scope
+let def_in_functor d = d.d_functor
+
+let module_of_file file =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+
+(* [Longident.flatten] raises on functor applications; map them to a
+   component no module is ever named, so they resolve to nothing. *)
+let rec flatten_safe : Longident.t -> string list = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (p, s) -> flatten_safe p @ [ s ]
+  | Longident.Lapply (_, _) -> [ "(functor-application)" ]
+
+(* ------------------------------------------------------------------ *)
+(* Building one unit's defs                                            *)
+
+let sites_of_expression u (e : Parsetree.expression) =
+  let acc = ref [] in
+  let expr_iter (self : Ast_iterator.iterator) (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } ->
+        acc :=
+          { s_parts = flatten_safe txt; s_line = e.pexp_loc.loc_start.pos_lnum }
+          :: !acc
+    | Pexp_open ({ popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ }, _)
+      -> (
+        (* [let open M in ...] widens the whole unit's open set — coarser
+           than real scoping, purely additive (conservative). *)
+        match flatten_safe txt with
+        | head :: _ when not (List.mem head u.u_opens) ->
+            u.u_opens <- head :: u.u_opens
+        | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr self e
+  in
+  let iterator = { Ast_iterator.default_iterator with expr = expr_iter } in
+  iterator.expr iterator e;
+  List.rev !acc
+
+let rec pattern_vars (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> [ txt ]
+  | Ppat_alias (inner, { txt; _ }) -> txt :: pattern_vars inner
+  | Ppat_tuple ps -> List.concat_map pattern_vars ps
+  | Ppat_constraint (inner, _) -> pattern_vars inner
+  | _ -> []
+
+let rec defs_of_structure u ~prefix ~in_functor
+    (structure : Parsetree.structure) =
+  List.concat_map
+    (fun (item : Parsetree.structure_item) ->
+      match item.pstr_desc with
+      | Pstr_value (_, bindings) ->
+          List.concat_map
+            (fun (vb : Parsetree.value_binding) ->
+              let sites = sites_of_expression u vb.pvb_expr in
+              let line = vb.pvb_loc.loc_start.pos_lnum in
+              List.map
+                (fun name ->
+                  {
+                    d_unit = u;
+                    d_path = prefix ^ name;
+                    d_line = line;
+                    d_functor = in_functor;
+                    d_sites = sites;
+                  })
+                (pattern_vars vb.pvb_pat))
+            bindings
+      | Pstr_module mb -> defs_of_module u ~prefix ~in_functor mb
+      | Pstr_recmodule mbs ->
+          List.concat_map (defs_of_module u ~prefix ~in_functor) mbs
+      | Pstr_open
+          { popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ } -> (
+          (match flatten_safe txt with
+          | head :: _ when not (List.mem head u.u_opens) ->
+              u.u_opens <- head :: u.u_opens
+          | _ -> ());
+          [])
+      | _ -> [])
+    structure
+
+and defs_of_module u ~prefix ~in_functor (mb : Parsetree.module_binding) =
+  match mb.pmb_name.txt with
+  | None -> []
+  | Some name ->
+      let rec strip (me : Parsetree.module_expr) ~in_functor =
+        match me.pmod_desc with
+        | Pmod_structure s ->
+            defs_of_structure u ~prefix:(prefix ^ name ^ ".") ~in_functor s
+        | Pmod_functor (_, body) -> strip body ~in_functor:true
+        | Pmod_constraint (inner, _) -> strip inner ~in_functor
+        | Pmod_ident { txt; _ } ->
+            (* [module W = Wire]: record the alias (top level only; the
+               prefix check keeps nested-module aliases out of the
+               unit-wide table). *)
+            if String.equal prefix "" then
+              u.u_aliases <- (name, flatten_safe txt) :: u.u_aliases;
+            []
+        | _ -> []
+      in
+      strip mb.pmb_expr ~in_functor
+
+let build_unit (file, structure) =
+  let u =
+    {
+      u_file = file;
+      u_scope = Finding.scope_of_file file;
+      u_module = module_of_file file;
+      u_opens = [];
+      u_aliases = [];
+    }
+  in
+  defs_of_structure u ~prefix:"" ~in_functor:false structure
+
+let build units =
+  let all_defs = List.concat_map build_unit units in
+  let index = Hashtbl.create 256 in
+  List.iter
+    (fun d ->
+      let key = (d.d_unit.u_module, d.d_path) in
+      let prev =
+        match Hashtbl.find_opt index key with Some ds -> ds | None -> []
+      in
+      Hashtbl.replace index key (d :: prev))
+    all_defs;
+  { all_defs; index }
+
+let defs_in t ~scope =
+  List.filter (fun d -> String.equal d.d_unit.u_scope scope) t.all_defs
+
+(* ------------------------------------------------------------------ *)
+(* Resolution                                                          *)
+
+let lookup t module_ path =
+  match Hashtbl.find_opt t.index (module_, path) with
+  | Some ds -> ds
+  | None -> []
+
+(* Expand one site into the name forms it may denote.  Returns the
+   candidate part-lists (for predicate matching) and the defs any of them
+   resolve to. *)
+let expand t (u : unit_) parts =
+  match parts with
+  | [] -> ([], [])
+  | [ v ] -> (
+      (* local definition shadows opens *)
+      match lookup t u.u_module v with
+      | _ :: _ as local -> ([ [ v ] ], local)
+      | [] ->
+          let opened = List.map (fun o -> [ o; v ]) u.u_opens in
+          let defs = List.concat_map (fun o -> lookup t o v) u.u_opens in
+          (([ v ] :: opened), defs))
+  | head :: rest ->
+      let forms =
+        match List.assoc_opt head u.u_aliases with
+        | Some target -> [ target @ rest ]
+        | None -> [ parts ]
+      in
+      (* every suffix that still has a module component: Fbremote.Wire.foo
+         is tried as itself, then as Wire.foo *)
+      let rec suffixes = function
+        | [ _ ] | [] -> []
+        | _ :: tail as l -> l :: suffixes tail
+      in
+      let forms = List.concat_map suffixes forms in
+      let defs =
+        List.concat_map
+          (fun form ->
+            match form with
+            | m :: (_ :: _ as path) -> lookup t m (String.concat "." path)
+            | _ -> [])
+          forms
+      in
+      (* a same-unit nested reference Sub.foo lives under this unit's own
+         module name *)
+      let defs = defs @ lookup t u.u_module (String.concat "." parts) in
+      (forms, defs)
+
+(* ------------------------------------------------------------------ *)
+(* Reachability                                                        *)
+
+type hit = {
+  h_parts : string list;  (* the offending head, as matched *)
+  h_file : string;
+  h_line : int;
+  h_chain : string list;  (* root def, ..., def containing the site *)
+}
+
+let reach t ~roots ~approved ~target =
+  let visited : (string * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let hits = ref [] in
+  let queue = Queue.create () in
+  List.iter (fun d -> Queue.push (d, [ def_name d ]) queue) roots;
+  while not (Queue.is_empty queue) do
+    let d, chain = Queue.pop queue in
+    let key = (d.d_unit.u_module, d.d_path) in
+    if not (Hashtbl.mem visited key) then begin
+      Hashtbl.replace visited key ();
+      List.iter
+        (fun site ->
+          let forms, defs = expand t d.d_unit site.s_parts in
+          if not (List.exists approved forms) then begin
+            (match List.find_opt target forms with
+            | Some form ->
+                hits :=
+                  {
+                    h_parts = form;
+                    h_file = d.d_unit.u_file;
+                    h_line = site.s_line;
+                    h_chain = chain;
+                  }
+                  :: !hits
+            | None -> ());
+            List.iter
+              (fun callee ->
+                if
+                  not
+                    (Hashtbl.mem visited
+                       (callee.d_unit.u_module, callee.d_path))
+                then Queue.push (callee, chain @ [ def_name callee ]) queue)
+              defs
+          end)
+        d.d_sites
+    end
+  done;
+  List.sort_uniq compare !hits

@@ -5,6 +5,9 @@ type rule =
   | Typed_errors
   | No_swallow
   | Dune_hygiene
+  | No_block_in_loop
+  | Wire_exhaustiveness
+  | Fd_discipline
   | Lint_usage
   | Parse_error
 
@@ -16,6 +19,9 @@ let all_rules =
     Typed_errors;
     No_swallow;
     Dune_hygiene;
+    No_block_in_loop;
+    Wire_exhaustiveness;
+    Fd_discipline;
     Lint_usage;
     Parse_error;
   ]
@@ -27,6 +33,9 @@ let rule_id = function
   | Typed_errors -> "typed-errors"
   | No_swallow -> "no-swallow"
   | Dune_hygiene -> "dune-hygiene"
+  | No_block_in_loop -> "no-block-in-loop"
+  | Wire_exhaustiveness -> "wire-exhaustiveness"
+  | Fd_discipline -> "fd-discipline"
   | Lint_usage -> "lint-usage"
   | Parse_error -> "parse-error"
 

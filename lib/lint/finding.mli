@@ -15,7 +15,18 @@ type rule =
   | Typed_errors  (** [failwith]/[assert false] in [lib/] *)
   | No_swallow  (** [with _ ->] / [exception _ ->] discarding the exception *)
   | Dune_hygiene  (** missing [.mli], relaxed warning flags *)
-  | Lint_usage  (** broken lint annotations (unknown rule in a suppression) *)
+  | No_block_in_loop
+      (** a blocking primitive is call-graph-reachable from the server's
+          connection handlers outside the approved nonblocking wrappers *)
+  | Wire_exhaustiveness
+      (** a [Wire.request] variant the server, client, and codec tests do
+          not all cover — the protocol has drifted *)
+  | Fd_discipline
+      (** a [Unix.openfile]/[socket]/[accept] result neither closed on
+          every path nor escaping to an owner *)
+  | Lint_usage
+      (** broken lint annotations (unknown rule in a suppression, or a
+          suppression that suppresses nothing) *)
   | Parse_error  (** the analyzer could not parse the source *)
 
 val all_rules : rule list

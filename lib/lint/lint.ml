@@ -1,7 +1,5 @@
 module F = Finding
 
-let lint_source = Rules.check_source
-
 (* ------------------------------------------------------------------ *)
 (* dune-hygiene                                                        *)
 
@@ -85,18 +83,97 @@ let hygiene_of_listing ~dir ~dune ~files =
       missing_mli @ relaxed
 
 (* ------------------------------------------------------------------ *)
+(* The pipeline: syntactic rules per file, interprocedural analyses over
+   the whole set, then one suppression pass over their union — so an
+   allow-annotation for no-block-in-loop works exactly like one for any
+   syntactic rule, and an annotation that hides nothing is itself
+   reported (lint-usage), keeping suppressions honest as code moves. *)
+
+let in_lib_or_bin_scope scope =
+  starts_with ~prefix:"lib/" scope || starts_with ~prefix:"bin/" scope
+
+let apply_suppressions units findings =
+  let remaining = ref findings in
+  let out = ref [] in
+  List.iter
+    (fun (file, source, parsed_ok) ->
+      let scope = F.scope_of_file file in
+      let mine, others =
+        List.partition (fun (f : F.t) -> String.equal f.F.scope scope) !remaining
+      in
+      remaining := others;
+      let sup, bad = Rules.suppressions source in
+      let bad = List.map (fun (f : F.t) -> { f with F.file; scope }) bad in
+      let sup = List.map (fun (line, rule) -> (line, rule, ref false)) sup in
+      let kept =
+        List.filter
+          (fun (f : F.t) ->
+            let matched =
+              List.filter
+                (fun ((line : int), rule, _) ->
+                  String.equal (F.rule_id rule) (F.rule_id f.F.rule)
+                  && (line = f.F.line || line = f.F.line - 1))
+                sup
+            in
+            List.iter (fun (_, _, used) -> used := true) matched;
+            match matched with [] -> true | _ :: _ -> false)
+          mine
+      in
+      (* An annotation that suppressed nothing is stale — but only when we
+         could actually look (the file parsed, and rules apply to its
+         scope at all). *)
+      let unused =
+        if parsed_ok && in_lib_or_bin_scope scope then
+          List.filter_map
+            (fun (line, rule, used) ->
+              if !used then None
+              else
+                Some
+                  (F.v ~rule:F.Lint_usage ~file ~line
+                     (Printf.sprintf
+                        "suppression of %s hides nothing; remove it or \
+                         re-anchor it on the offending line"
+                        (F.rule_id rule))))
+            sup
+        else []
+      in
+      out := kept @ bad @ unused @ !out)
+    units;
+  !remaining @ !out
+
+let analyze_sources units =
+  let parsed =
+    List.filter_map
+      (fun (file, source) ->
+        match Rules.parse_structure ~file source with
+        | Ok structure -> Some (file, structure)
+        | Error _ -> None)
+      units
+  in
+  let raw =
+    List.concat_map (fun (file, source) -> Rules.syntactic ~file source) units
+    @ Interproc.analyze parsed
+  in
+  let units =
+    List.map
+      (fun (file, source) ->
+        ( file,
+          source,
+          List.exists (fun (f, _) -> String.equal f file) parsed ))
+      units
+  in
+  apply_suppressions units raw |> List.sort_uniq F.compare
+
+let lint_source ~file source = analyze_sources [ (file, source) ]
+let lint_sources units = analyze_sources units
+
+(* ------------------------------------------------------------------ *)
 (* Tree walking                                                        *)
 
 let read_file path =
   match In_channel.with_open_bin path In_channel.input_all with
   | text -> Ok text
   | exception Sys_error msg -> Error msg
-
-let lint_ml_file path =
-  match read_file path with
-  | Ok source -> lint_source ~file:path source
-  | Error msg ->
-      [ F.v ~rule:F.Parse_error ~file:path ~line:1 ("cannot read: " ^ msg) ]
 
 let skip_dir name =
   String.equal name "_build"
@@ -108,7 +185,11 @@ let is_dir path =
   | b -> b
   | exception Sys_error _ -> false
 
-let rec walk acc path =
+(* Walk a tree accumulating (units to analyze, findings): sources feed
+   the pipeline as a single set (the interprocedural analyses need to
+   see them together), unreadable paths and dune-hygiene violations are
+   findings immediately. *)
+let rec walk (units, findings) path =
   if is_dir path then begin
     let entries =
       match Sys.readdir path with
@@ -124,28 +205,54 @@ let rec walk acc path =
         | Error _ -> None
       else None
     in
-    let acc = hygiene_of_listing ~dir:path ~dune ~files:entries @ acc in
+    let findings = hygiene_of_listing ~dir:path ~dune ~files:entries @ findings in
     List.fold_left
       (fun acc name ->
         let child = Filename.concat path name in
         if is_dir child then
           if skip_dir name then acc else walk acc child
-        else if ends_with ~suffix:".ml" name then lint_ml_file child @ acc
+        else if ends_with ~suffix:".ml" name then
+          let units, findings = acc in
+          match read_file child with
+          | Ok source -> ((child, source) :: units, findings)
+          | Error msg ->
+              ( units,
+                F.v ~rule:F.Parse_error ~file:child ~line:1
+                  ("cannot read: " ^ msg)
+                :: findings )
         else acc)
-      acc entries
+      (units, findings) entries
   end
-  else if ends_with ~suffix:".ml" path then lint_ml_file path @ acc
-  else acc
+  else if ends_with ~suffix:".ml" path then
+    match read_file path with
+    | Ok source -> ((path, source) :: units, findings)
+    | Error msg ->
+        ( units,
+          F.v ~rule:F.Parse_error ~file:path ~line:1 ("cannot read: " ^ msg)
+          :: findings )
+  else (units, findings)
 
 let collect paths =
-  List.fold_left
-    (fun acc path ->
-      if Sys.file_exists path then walk acc path
-      else
-        F.v ~rule:F.Parse_error ~file:path ~line:1 "no such file or directory"
-        :: acc)
-    [] paths
-  |> List.sort_uniq F.compare
+  let units, findings =
+    List.fold_left
+      (fun acc path ->
+        if Sys.file_exists path then walk acc path
+        else
+          let units, findings = acc in
+          ( units,
+            F.v ~rule:F.Parse_error ~file:path ~line:1
+              "no such file or directory"
+            :: findings ))
+      ([], []) paths
+  in
+  analyze_sources (List.rev units) @ findings |> List.sort_uniq F.compare
 
 let run ?(baseline = Baseline.empty) paths =
   Baseline.filter_new baseline (collect paths)
+
+type report = { fresh : F.t list; tolerated : int }
+
+let run_report ?(baseline = Baseline.empty) paths =
+  let all = collect paths in
+  let fresh = Baseline.filter_new baseline all in
+  { fresh; tolerated = List.length all - List.length fresh }

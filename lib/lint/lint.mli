@@ -1,6 +1,14 @@
-(** The lint driver: walk source trees, run the {!Rules} over every [.ml],
-    apply the dune-hygiene checks per directory, and subtract a
-    {!Baseline}.
+(** The lint driver: walk source trees, run the syntactic {!Rules} over
+    every [.ml], run the interprocedural {!Interproc} analyses over the
+    whole set, apply the dune-hygiene checks per directory, and subtract
+    a {!Baseline}.
+
+    Suppressions are applied here, once, over the union of syntactic and
+    interprocedural findings — an allow-annotation for no-block-in-loop
+    behaves exactly like one for a syntactic rule.  An annotation that hides
+    nothing (in [lib/] or [bin/], in a file that parses) is itself
+    reported as [lint-usage], so suppressions cannot silently outlive
+    the code they excused.
 
     This is what [forkbase lint] and the [@lint] dune alias call.  The
     analyzer runs inside the tier-1 gate, so no entry point here may
@@ -10,7 +18,14 @@
 val lint_source : file:string -> string -> Finding.t list
 (** Analyze one source text (suppressions applied, no baseline).  [file]
     names it for locations and scoping — fixture tests pass paths like
-    ["lib/fixture.ml"] to opt into library-scope rules. *)
+    ["lib/fixture.ml"] to opt into library-scope rules.  Interprocedural
+    analyses see only this one unit. *)
+
+val lint_sources : (string * string) list -> Finding.t list
+(** Analyze a set of [(file, source)] units together, so the
+    interprocedural analyses can resolve calls across them.  This is the
+    multi-file core that {!collect} feeds; fixture tests use it to model
+    a server unit calling into helpers defined elsewhere. *)
 
 val hygiene_of_listing :
   dir:string -> dune:string option -> files:string list -> Finding.t list
@@ -23,9 +38,16 @@ val hygiene_of_listing :
 
 val collect : string list -> Finding.t list
 (** Walk the given files/directories (skipping [_build] and dot-dirs),
-    lint every [.ml], apply dune-hygiene per directory, and return all
-    findings sorted.  Unreadable paths become [parse-error] findings. *)
+    gather every [.ml] into one analysis set, apply dune-hygiene per
+    directory, and return all findings sorted.  Unreadable paths become
+    [parse-error] findings. *)
 
 val run : ?baseline:Baseline.t -> string list -> Finding.t list
 (** [collect] minus the baseline budget: the findings that should fail
     the build.  Empty means the tree is clean. *)
+
+type report = { fresh : Finding.t list; tolerated : int }
+(** A run's outcome for exit-code and [--json] purposes: the findings
+    that escaped the baseline, and how many the baseline absorbed. *)
+
+val run_report : ?baseline:Baseline.t -> string list -> report

@@ -1,0 +1,78 @@
+(* Machine-readable lint output, following the Bench_json conventions:
+   hand-emitted JSON (no JSON library in the build) against a small,
+   stable schema that CI can gate on:
+
+   {
+     "tool": "forkbase-lint",
+     "status": "clean" | "baseline-tolerated" | "findings",
+     "tolerated": 0,
+     "findings": [
+       { "rule": "no-partial", "file": "lib/x.ml", "line": 3,
+         "message": "..." }
+     ]
+   }
+
+   [status] mirrors the CLI exit code: "clean" (0) when nothing fired at
+   all, "baseline-tolerated" (2) when everything that fired was within
+   the baseline's budget, "findings" (1) when new findings escape it. *)
+
+module F = Finding
+
+type status = Clean | Baseline_tolerated | New_findings
+
+let status_string = function
+  | Clean -> "clean"
+  | Baseline_tolerated -> "baseline-tolerated"
+  | New_findings -> "findings"
+
+let exit_code = function
+  | Clean -> 0
+  | Baseline_tolerated -> 2
+  | New_findings -> 1
+
+let status ~tolerated findings =
+  match (findings, tolerated) with
+  | [], 0 -> Clean
+  | [], _ -> Baseline_tolerated
+  | _ :: _, _ -> New_findings
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_str buf s =
+  Buffer.add_char buf '"';
+  add_escaped buf s;
+  Buffer.add_char buf '"'
+
+let to_json ~tolerated findings =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"tool\": \"forkbase-lint\",\n  \"status\": ";
+  add_str buf (status_string (status ~tolerated findings));
+  Buffer.add_string buf (Printf.sprintf ",\n  \"tolerated\": %d" tolerated);
+  Buffer.add_string buf ",\n  \"findings\": [";
+  List.iteri
+    (fun i (f : F.t) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    { \"rule\": ";
+      add_str buf (F.rule_id f.F.rule);
+      Buffer.add_string buf ", \"file\": ";
+      add_str buf f.F.scope;
+      Buffer.add_string buf (Printf.sprintf ", \"line\": %d" f.F.line);
+      Buffer.add_string buf ", \"message\": ";
+      add_str buf f.F.message;
+      Buffer.add_string buf " }")
+    findings;
+  if findings <> [] then Buffer.add_string buf "\n  ";
+  Buffer.add_string buf "]\n}\n";
+  Buffer.contents buf

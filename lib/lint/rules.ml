@@ -286,24 +286,9 @@ let parse_structure ~file source =
       in
       Error (line, Printexc.to_string exn)
 
-let check_source ~file source =
+let syntactic ~file source =
   let scope = F.scope_of_file file in
-  let raw =
-    match parse_structure ~file source with
-    | Ok structure -> check_structure ~file ~scope structure
-    | Error (line, message) ->
-        [ F.v ~rule:F.Parse_error ~file ~line ("cannot parse: " ^ message) ]
-  in
-  let sup, sup_findings =
-    let s, bad = suppressions source in
-    (s, List.map (fun (f : F.t) -> { f with F.file; scope }) bad)
-  in
-  let suppressed (f : F.t) =
-    List.exists
-      (fun ((line : int), rule) ->
-        String.equal (F.rule_id rule) (F.rule_id f.F.rule)
-        && (line = f.F.line || line = f.F.line - 1))
-      sup
-  in
-  List.filter (fun f -> not (suppressed f)) raw @ sup_findings
-  |> List.sort_uniq F.compare
+  match parse_structure ~file source with
+  | Ok structure -> check_structure ~file ~scope structure
+  | Error (line, message) ->
+      [ F.v ~rule:F.Parse_error ~file ~line ("cannot parse: " ^ message) ]

@@ -75,6 +75,11 @@ let get ?(branch = "master") t ~key =
   | Wire.Value v -> v
   | _ -> unexpected "get"
 
+let get_version t uid =
+  match expect_ok "get_version" (call t (Wire.Get_version { uid })) with
+  | Wire.Value v -> v
+  | _ -> unexpected "get_version"
+
 let fork t ~key ~from_branch ~new_branch =
   match expect_ok "fork" (call t (Wire.Fork { key; from_branch; new_branch })) with
   | Wire.Ok_unit -> ()

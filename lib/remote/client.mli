@@ -58,6 +58,11 @@ val put :
   Fbchunk.Cid.t
 
 val get : ?branch:string -> t -> key:string -> Wire.value
+
+val get_version : t -> Fbchunk.Cid.t -> Wire.value
+(** Fetch a specific historical version by its commit uid, bypassing
+    branch-head resolution. *)
+
 val fork : t -> key:string -> from_branch:string -> new_branch:string -> unit
 val merge :
   ?resolver:string -> t -> key:string -> target:string -> ref_branch:string ->

@@ -1,12 +1,15 @@
 (* The lint analyzer (lib/lint): every rule has a firing fixture and a
-   clean fixture, suppressions and baselines round-trip, the walker skips
-   build artifacts, and — the acceptance test — the live tree lints clean
-   against the checked-in baseline. *)
+   clean fixture, the call-graph analyses fire across units, suppressions
+   and baselines round-trip, the walker skips build artifacts, and — the
+   acceptance test — the live tree lints clean against the checked-in
+   baseline. *)
 
 module Finding = Fblint.Finding
 module Rules = Fblint.Rules
 module Baseline = Fblint.Baseline
 module Lint = Fblint.Lint
+module Callgraph = Fblint.Callgraph
+module Report = Fblint.Report
 
 let ids findings =
   List.map (fun (f : Finding.t) -> Finding.rule_id f.Finding.rule) findings
@@ -16,7 +19,7 @@ let lint ?(file = "lib/fixture.ml") source = Lint.lint_source ~file source
 let check_ids name expected findings =
   Alcotest.(check (list string)) name expected (ids findings)
 
-(* --- each rule: one firing fixture, one clean fixture --- *)
+(* --- each syntactic rule: one firing fixture, one clean fixture --- *)
 
 let test_cid_discipline () =
   check_ids "poly = on cid fires" [ "cid-discipline" ]
@@ -109,6 +112,240 @@ let test_parse_error () =
         (Finding.rule_id f.Finding.rule)
   | fs -> Alcotest.failf "expected one parse-error, got %d findings" (List.length fs)
 
+(* --- the call graph itself --- *)
+
+let parse file source =
+  match Rules.parse_structure ~file source with
+  | Ok structure -> (file, structure)
+  | Error (line, msg) -> Alcotest.failf "fixture %s:%d does not parse: %s" file line msg
+
+let server = "lib/remote/server.ml"
+
+let test_callgraph () =
+  (* mutual recursion: the BFS terminates and still reports the site *)
+  let cyclic =
+    parse server
+      "let rec handle fd = helper fd\n\
+       and helper fd = if fd > 0 then handle fd else Unix.sleep 1"
+  in
+  let graph = Callgraph.build [ cyclic ] in
+  let roots =
+    List.filter
+      (fun d -> String.equal (Callgraph.def_path d) "handle")
+      (Callgraph.defs_in graph ~scope:server)
+  in
+  Alcotest.(check int) "one root" 1 (List.length roots);
+  let hits =
+    Callgraph.reach graph ~roots
+      ~approved:(fun _ -> false)
+      ~target:(fun parts ->
+        match parts with [ "Unix"; "sleep" ] -> true | _ -> false)
+  in
+  (match hits with
+  | [ h ] ->
+      Alcotest.(check (list string))
+        "chain walks the cycle"
+        [ "Server.handle"; "Server.helper" ]
+        h.Callgraph.h_chain
+  | hs -> Alcotest.failf "expected one hit through the cycle, got %d" (List.length hs));
+  (* functor bodies are recorded and marked; applying one resolves to
+     nothing (conservative), and flatten_safe never raises on Lapply *)
+  let functored =
+    parse "lib/x.ml"
+      "module Make (X : sig val go : unit -> unit end) = struct\n\
+      \  let run () = X.go ()\n\
+       end\n\
+       let top () = ()"
+  in
+  let graph = Callgraph.build [ functored ] in
+  let find path =
+    List.find_opt
+      (fun d -> String.equal (Callgraph.def_path d) path)
+      (Callgraph.defs_in graph ~scope:"lib/x.ml")
+  in
+  (match (find "Make.run", find "top") with
+  | Some run, Some top ->
+      Alcotest.(check bool) "functor body marked" true
+        (Callgraph.def_in_functor run);
+      Alcotest.(check bool) "top level unmarked" false
+        (Callgraph.def_in_functor top)
+  | _ -> Alcotest.fail "expected defs Make.run and top");
+  Alcotest.(check (list string))
+    "Lapply flattens totally"
+    [ "(functor-application)"; "run" ]
+    (Callgraph.flatten_safe
+       (Longident.Ldot
+          ( Longident.Lapply
+              (Longident.Lident "Make", Longident.Lident "X"),
+            "run" )))
+
+(* --- no-block-in-loop --- *)
+
+let test_no_block_in_loop () =
+  (* the acceptance fixture: blocking Unix.write two calls deep inside a
+     server handler (the direct syscall also trips the syntactic rule) *)
+  check_ids "blocking write two calls deep fires"
+    [ "no-block-in-loop"; "syscall-discipline" ]
+    (lint ~file:server
+       "let send fd buf = Unix.write fd buf 0 1\n\
+        let relay fd buf = send fd buf\n\
+        let handle fd buf = relay fd buf");
+  (* the same shape through the blessed nonblocking wrapper is clean,
+     even though the wrapper's own body holds the raw syscall *)
+  check_ids "the Wire.write_nb path is clean" []
+    (Lint.lint_sources
+       [
+         ( "lib/remote/wire.ml",
+           "let write_nb fd buf =\n\
+           \  match Unix.write fd buf 0 1 with\n\
+           \  | n -> Some n\n\
+           \  | exception Unix.Unix_error (_, _, _) -> None" );
+         ( server,
+           "let relay fd buf = Wire.write_nb fd buf\n\
+            let handle fd buf = relay fd buf" );
+       ]);
+  (* open Unix makes a bare select visible... *)
+  check_ids "open-qualified select fires" [ "no-block-in-loop" ]
+    (lint ~file:server "open Unix\nlet handle fds = select fds [] [] 0.1");
+  (* ...unless a local definition shadows it *)
+  check_ids "local definition shadows the open" []
+    (lint ~file:server
+       "open Unix\n\
+        let select fds a b t = ignore a; ignore b; ignore t; List.length fds\n\
+        let handle fds = select fds [] [] 0.1");
+  check_ids "module alias is expanded" [ "no-block-in-loop" ]
+    (lint ~file:server "module U = Unix\nlet handle fd = ignore fd; U.sleep 1");
+  (* a call through an injected hook parameter is invisible by design *)
+  check_ids "?tick-style hook calls are not followed" []
+    (lint ~file:server "let handle tick fd = ignore fd; tick ()");
+  (* handlers only root in server.ml: the same code elsewhere is silent *)
+  check_ids "non-server units have no handler roots" []
+    (lint ~file:"lib/core/other.ml"
+       "let relay fd = Unix.sleep 1 |> ignore; fd\nlet handle fd = relay fd");
+  (* a deliberate blocking call can be suppressed like any other finding *)
+  check_ids "suppression applies to interprocedural findings" []
+    (lint ~file:server
+       "let relay fd = ignore fd; Unix.sleep 1 (* lint: allow \
+        no-block-in-loop *)\n\
+        let handle fd = relay fd")
+
+(* --- wire-exhaustiveness --- *)
+
+let wire_fixture =
+  "type request = Ping | Pong of int\ntype response = Done"
+
+let server_dispatch_all =
+  "let handle = function Wire.Ping -> 0 | Wire.Pong n -> n"
+
+let client_builds_all = "let f n = (Wire.Ping, Wire.Pong n)"
+let test_round_trips_all = "let gen n = [ Wire.Ping; Wire.Pong n ]"
+
+let test_wire_exhaustiveness () =
+  check_ids "all three roles covered is clean" []
+    (Lint.lint_sources
+       [
+         ("lib/remote/wire.ml", wire_fixture);
+         (server, server_dispatch_all);
+         ("lib/remote/client.ml", client_builds_all);
+         ("test/test_remote.ml", test_round_trips_all);
+       ]);
+  check_ids "undispatched variant fires" [ "wire-exhaustiveness" ]
+    (Lint.lint_sources
+       [
+         ("lib/remote/wire.ml", wire_fixture);
+         (server, "let handle = function Wire.Ping -> 0 | _ -> 1");
+       ]);
+  check_ids "unconstructible variant fires" [ "wire-exhaustiveness" ]
+    (Lint.lint_sources
+       [
+         ("lib/remote/wire.ml", wire_fixture);
+         ("lib/remote/client.ml", "let f () = Wire.Ping");
+       ]);
+  check_ids "variant missing from the codec round-trip fires"
+    [ "wire-exhaustiveness" ]
+    (Lint.lint_sources
+       [
+         ("lib/remote/wire.ml", wire_fixture);
+         ("test/test_remote.ml", "let gen () = [ Wire.Ping ]");
+       ]);
+  (* a role absent from the analyzed set is skipped: linting a subtree
+     never invents drift *)
+  check_ids "absent roles are skipped" []
+    (Lint.lint_sources [ ("lib/remote/wire.ml", wire_fixture) ]);
+  (* the finding is anchored at the variant's declaration in wire.ml *)
+  (match
+     Lint.lint_sources
+       [
+         ("lib/remote/wire.ml", wire_fixture);
+         (server, "let handle = function Wire.Ping -> 0 | _ -> 1");
+       ]
+   with
+  | [ f ] ->
+      Alcotest.(check string) "anchored in wire.ml" "lib/remote/wire.ml"
+        f.Finding.scope
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs))
+
+(* --- fd-discipline --- *)
+
+let test_fd_discipline () =
+  check_ids "dropped openfile result fires" [ "fd-discipline" ]
+    (lint
+       "let f path =\n\
+       \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+       \  Unix.lseek fd 0 Unix.SEEK_END");
+  check_ids "one branch missing the close fires" [ "fd-discipline" ]
+    (lint
+       "let f path c =\n\
+       \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+       \  if c then Unix.close fd else ()");
+  check_ids "closed on every path is clean" []
+    (lint
+       "let f path c =\n\
+       \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+       \  if c then Unix.close fd else Unix.close fd");
+  check_ids "returning the fd hands it to the caller" []
+    (lint
+       "let open_ro path =\n\
+       \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+       \  fd");
+  check_ids "Fun.protect finalizer captures the fd" []
+    (lint
+       "let f path g =\n\
+       \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+       \  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> g fd)");
+  check_ids "storing the fd in a record escapes it" []
+    (lint
+       "type conn = { fd : Unix.file_descr }\n\
+        let f path = { fd = Unix.openfile path [ Unix.O_RDONLY ] 0 }\n\
+        let g path =\n\
+       \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+       \  { fd }");
+  check_ids "passing the fd to an unknown callee escapes it" []
+    (lint
+       "let f path register =\n\
+       \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+       \  register fd");
+  (* match-on-accept: the success case owns the fd, the exception case
+     has nothing to release (accept fixtures sit in the wire module, the
+     one place the raw syscall is syntactically legal) *)
+  check_ids "accept case dropping the fd fires" [ "fd-discipline" ]
+    (lint ~file:"lib/remote/wire.ml"
+       "let f srv =\n\
+       \  match Unix.accept srv with\n\
+       \  | fd, _peer -> ignore fd; 0\n\
+       \  | exception Unix.Unix_error (_, _, _) -> 1");
+  check_ids "accept case closing the fd is clean" []
+    (lint ~file:"lib/remote/wire.ml"
+       "let f srv =\n\
+       \  match Unix.accept srv with\n\
+       \  | fd, _peer -> Unix.close fd; 0\n\
+       \  | exception Unix.Unix_error (_, _, _) -> 1");
+  check_ids "tests are exempt" []
+    (lint ~file:"test/fixture.ml"
+       "let f path =\n\
+       \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+       \  Unix.lseek fd 0 Unix.SEEK_END")
+
 (* --- suppressions --- *)
 
 let test_suppressions () =
@@ -116,9 +353,10 @@ let test_suppressions () =
     (lint "let f xs = List.hd xs (* lint: allow no-partial *)");
   check_ids "previous-line suppression" []
     (lint "(* lint: allow no-partial *)\nlet f xs = List.hd xs");
-  check_ids "wrong rule does not hide" [ "no-partial" ]
+  check_ids "wrong rule neither hides nor stays silent"
+    [ "lint-usage"; "no-partial" ]
     (lint "let f xs = List.hd xs (* lint: allow typed-errors *)");
-  check_ids "two lines above does not hide" [ "no-partial" ]
+  check_ids "two lines above does not hide" [ "lint-usage"; "no-partial" ]
     (lint "(* lint: allow no-partial *)\n\nlet f xs = List.hd xs");
   check_ids "unknown rule is itself a finding" [ "lint-usage"; "no-partial" ]
     (lint "let f xs = List.hd xs (* lint: allow no-such-rule *)");
@@ -129,6 +367,52 @@ let test_suppressions () =
     (lint
        "(* lint: allow no-partial typed-errors *)\n\
         let f = function [] -> failwith \"no\" | xs -> List.hd xs")
+
+let test_unused_suppressions () =
+  check_ids "a suppression hiding nothing is stale" [ "lint-usage" ]
+    (lint "let f x = x (* lint: allow no-partial *)");
+  check_ids "a working suppression is not stale" []
+    (lint "let f xs = List.hd xs (* lint: allow no-partial *)");
+  (* staleness is only judged where the rules apply at all *)
+  check_ids "test scope is exempt from staleness" []
+    (lint ~file:"test/fixture.ml" "let f x = x (* lint: allow no-partial *)");
+  (* an unparsable file proves nothing about its annotations *)
+  check_ids "unparsable files are not judged" [ "parse-error" ]
+    (lint "let let let (* lint: allow no-partial *)")
+
+(* --- machine-readable report --- *)
+
+let test_report () =
+  Alcotest.(check int) "clean exits 0" 0 Report.(exit_code (status ~tolerated:0 []));
+  Alcotest.(check int) "tolerated exits 2" 2
+    Report.(exit_code (status ~tolerated:3 []));
+  let finding =
+    Finding.v ~rule:Finding.No_partial ~file:"lib/x.ml" ~line:7 "say \"hi\""
+  in
+  Alcotest.(check int) "new findings exit 1" 1
+    Report.(exit_code (status ~tolerated:3 [ finding ]));
+  Alcotest.(check string) "empty report shape"
+    "{\n\
+    \  \"tool\": \"forkbase-lint\",\n\
+    \  \"status\": \"clean\",\n\
+    \  \"tolerated\": 0,\n\
+    \  \"findings\": []\n\
+     }\n"
+    (Report.to_json ~tolerated:0 []);
+  let json = Report.to_json ~tolerated:1 [ finding ] in
+  let contains needle =
+    let nh = String.length json and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh
+      && (String.equal (String.sub json i nn) needle || go (i + 1))
+    in
+    Alcotest.(check bool) ("json contains " ^ needle) true (go 0)
+  in
+  contains "\"status\": \"findings\"";
+  contains "\"tolerated\": 1";
+  contains "{ \"rule\": \"no-partial\", \"file\": \"lib/x.ml\", \"line\": 7";
+  (* message quotes are escaped *)
+  contains "\"message\": \"say \\\"hi\\\"\""
 
 (* --- baseline --- *)
 
@@ -183,7 +467,18 @@ let test_walker () =
         f.Finding.scope
   | _ -> Alcotest.fail "expected exactly one finding");
   check_ids "nonexistent path is a finding, not a crash" [ "parse-error" ]
-    (Lint.collect [ Filename.concat root "no-such-dir" ])
+    (Lint.collect [ Filename.concat root "no-such-dir" ]);
+  (* the walked units form one analysis set: a handler in a walked
+     server.ml reaches a helper in a sibling walked file *)
+  let remote = Filename.concat lib "remote" in
+  Unix.mkdir remote 0o755;
+  write_file
+    (Filename.concat remote "server.ml")
+    "let handle fd = Journal.sync fd";
+  write_file (Filename.concat remote "journal.ml") "let sync fd = ignore fd";
+  let findings = Lint.collect [ remote ] in
+  check_ids "walked units are analyzed together" [ "no-block-in-loop" ]
+    findings
 
 (* --- acceptance: the live tree is clean under the checked-in baseline --- *)
 
@@ -194,7 +489,12 @@ let test_live_tree_clean () =
     if Sys.file_exists up then up else name
   in
   let baseline = Baseline.load (at_root "lint-baseline.txt") in
-  match Lint.run ~baseline [ at_root "lib"; at_root "bin" ] with
+  let { Lint.fresh; tolerated } =
+    Lint.run_report ~baseline
+      [ at_root "lib"; at_root "bin"; at_root "test/test_remote.ml" ]
+  in
+  Alcotest.(check int) "the baseline is empty and stays empty" 0 tolerated;
+  match fresh with
   | [] -> ()
   | findings ->
       Alcotest.failf "live tree has %d new lint findings:\n%s"
@@ -214,9 +514,20 @@ let () =
           Alcotest.test_case "dune-hygiene" `Quick test_dune_hygiene;
           Alcotest.test_case "parse-error" `Quick test_parse_error;
         ] );
+      ( "interproc",
+        [
+          Alcotest.test_case "callgraph" `Quick test_callgraph;
+          Alcotest.test_case "no-block-in-loop" `Quick test_no_block_in_loop;
+          Alcotest.test_case "wire-exhaustiveness" `Quick
+            test_wire_exhaustiveness;
+          Alcotest.test_case "fd-discipline" `Quick test_fd_discipline;
+        ] );
       ( "mechanism",
         [
           Alcotest.test_case "suppressions" `Quick test_suppressions;
+          Alcotest.test_case "unused suppressions" `Quick
+            test_unused_suppressions;
+          Alcotest.test_case "report json" `Quick test_report;
           Alcotest.test_case "baseline roundtrip" `Quick test_baseline_roundtrip;
           Alcotest.test_case "walker" `Quick test_walker;
         ] );
